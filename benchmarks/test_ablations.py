@@ -1,0 +1,132 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three of the paper's own future-work / known-limitation items are
+implemented as toggles, so their effect can be measured:
+
+* the dyld **shared cache** on Cider (§6.2: "a shared library cache
+  optimization that is not yet supported in the Cider prototype");
+* the GLES **fence bug** (§6.3/§6.4: "incorrect 'fence' synchronization
+  primitive support ... degraded our graphics performance");
+* **diplomat call overhead** (§6.3: "this can potentially be optimized by
+  aggregating OpenGL ES calls into a single diplomat, or by reducing the
+  overhead of a diplomatic function call").
+"""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.diplomacy.diplomat import Diplomat
+from repro.workloads.lmbench import install_lmbench
+from repro.workloads.passmark import install_passmark
+
+
+def _fork_exit_us(shared_cache):
+    system = build_cider(shared_cache=shared_cache)
+    try:
+        paths = install_lmbench(system.kernel, "macho")
+        out = {}
+        system.run_program(
+            paths["fork_exit"], [paths["fork_exit"], {"out": out, "iters": 3}]
+        )
+        return out["fork_exit"] / 1000.0
+    finally:
+        system.shutdown()
+
+
+class TestSharedCacheAblation:
+    def test_bench_fork_exit_without_cache(self, benchmark):
+        value = benchmark.pedantic(
+            lambda: _fork_exit_us(False), rounds=1, iterations=1
+        )
+        assert value > 1000  # ~3.75 ms
+
+    def test_bench_fork_exit_with_cache(self, benchmark):
+        value = benchmark.pedantic(
+            lambda: _fork_exit_us(True), rounds=1, iterations=1
+        )
+        assert value < 1500
+
+    def test_shape_cache_recovers_most_of_the_gap(self):
+        without = _fork_exit_us(False)
+        with_cache = _fork_exit_us(True)
+        # The future-work optimisation closes the bulk of the 15x gap.
+        assert with_cache < without / 3
+
+
+def _image_rendering_score(fence_bug):
+    system = build_cider(fence_bug=fence_bug)
+    try:
+        path = install_passmark(system.kernel, "ios")
+        out = {}
+        system.run_program(path, [path, {"out": out, "tests": ["gfx2d_image"]}])
+        return out["gfx2d_image"]
+    finally:
+        system.shutdown()
+
+
+class TestFenceBugAblation:
+    def test_bench_image_rendering_with_bug(self, benchmark):
+        score = benchmark.pedantic(
+            lambda: _image_rendering_score(True), rounds=1, iterations=1
+        )
+        assert score > 0
+
+    def test_shape_fixing_the_fence_recovers_throughput(self):
+        buggy = _image_rendering_score(True)
+        fixed = _image_rendering_score(False)
+        assert fixed > buggy * 1.5
+
+
+def _gl_calls_per_second(batch):
+    """Diplomat aggregation ablation: `batch` GL calls per crossing."""
+    system = build_cider()
+    try:
+        from repro.binfmt import macho_executable
+
+        out = {}
+
+        def main(ctx, argv):
+            from repro.diplomacy.diplomat import run_with_persona
+            from repro.android import gles
+
+            diplomat = Diplomat("_glViewport", "libGLESv2.so", "glViewport")
+            calls = 600
+
+            def batched(bctx):
+                for _ in range(batch):
+                    gles.glViewport(bctx, 0, 0, 8, 8)
+
+            # Prime the context under the domestic persona.
+            run_with_persona(ctx, "android", lambda c: gles.make_current(c, gles.GLContext()))
+            watch = ctx.machine.stopwatch()
+            if batch == 1:
+                for _ in range(calls):
+                    diplomat(ctx, 0, 0, 8, 8)
+            else:
+                for _ in range(calls // batch):
+                    run_with_persona(ctx, "android", batched)
+            out["ns"] = watch.elapsed_ns()
+            return 0
+
+        image = macho_executable("glbench", main)
+        system.kernel.vfs.install_binary("/data/glbench", image)
+        system.run_program("/data/glbench")
+        return 600 / (out["ns"] / 1e9)
+    finally:
+        system.shutdown()
+
+
+class TestDiplomatAggregationAblation:
+    """The paper's proposed optimisation: aggregate GL calls into a
+    single diplomat."""
+
+    def test_bench_per_call_diplomats(self, benchmark):
+        rate = benchmark.pedantic(
+            lambda: _gl_calls_per_second(1), rounds=1, iterations=1
+        )
+        assert rate > 0
+
+    def test_shape_aggregation_recovers_throughput(self):
+        per_call = _gl_calls_per_second(1)
+        batched_16 = _gl_calls_per_second(16)
+        assert batched_16 > per_call * 1.5

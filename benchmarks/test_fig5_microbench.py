@@ -1,0 +1,115 @@
+"""Figure 5 regeneration benches: lmbench across the four configurations.
+
+Each bench times one configuration/workload simulation (pytest-benchmark
+measures the simulator's real runtime); the paper's normalised series is
+produced by the session fixture and printed in the terminal summary.
+Shape assertions double-check the headline §6.2 numbers on every run.
+"""
+
+import pytest
+
+from repro.cider.system import build_cider, build_ipad_mini, build_vanilla_android
+from repro.workloads.lmbench import install_lmbench
+
+
+def _run_one(build, binary_format, test_name, **extra):
+    def once():
+        system = build()
+        try:
+            paths = install_lmbench(system.kernel, binary_format)
+            out = {}
+            params = {"out": out, "iters": 4, **extra}
+            system.run_program(paths[test_name], [paths[test_name], params])
+            return out
+        finally:
+            system.shutdown()
+
+    return once
+
+
+class TestGroup1BasicOps:
+    def test_bench_cpu_ops_vanilla(self, benchmark, fig5_result):
+        out = benchmark(_run_one(build_vanilla_android, "elf", "ops"))
+        assert out["int_mul"] > 0
+
+    def test_bench_cpu_ops_ipad(self, benchmark, fig5_result):
+        out = benchmark(_run_one(build_ipad_mini, "macho", "ops"))
+        assert out["int_mul"] > 0
+
+    def test_shape_int_divide_compiler_gap(self, fig5_result):
+        normalized = fig5_result.normalized()
+        assert normalized["int_div"]["cider_ios"] == pytest.approx(1.45, rel=0.1)
+
+
+class TestGroup2Syscalls:
+    def test_bench_null_syscall_vanilla(self, benchmark, fig5_result):
+        benchmark(_run_one(build_vanilla_android, "elf", "null_syscall"))
+
+    def test_bench_null_syscall_cider_ios(self, benchmark, fig5_result):
+        benchmark(_run_one(build_cider, "macho", "null_syscall"))
+
+    def test_bench_signal_cider_ios(self, benchmark, fig5_result):
+        benchmark(_run_one(build_cider, "macho", "signal"))
+
+    def test_shape_null_syscall_overheads(self, fig5_result):
+        normalized = fig5_result.normalized()
+        assert normalized["null_syscall"]["cider_android"] == pytest.approx(
+            1.085, abs=0.03
+        )
+        assert normalized["null_syscall"]["cider_ios"] == pytest.approx(
+            1.40, abs=0.06
+        )
+
+    def test_shape_signal_overheads(self, fig5_result):
+        normalized = fig5_result.normalized()
+        assert normalized["signal"]["cider_android"] == pytest.approx(1.03, abs=0.04)
+        assert normalized["signal"]["cider_ios"] == pytest.approx(1.25, abs=0.08)
+
+
+class TestGroup3ProcessCreation:
+    def test_bench_fork_exit_vanilla(self, benchmark, fig5_result):
+        benchmark(_run_one(build_vanilla_android, "elf", "fork_exit"))
+
+    def test_bench_fork_exit_cider_ios(self, benchmark, fig5_result):
+        benchmark(_run_one(build_cider, "macho", "fork_exit"))
+
+    def test_bench_fork_exec_cider_ios(self, benchmark, fig5_result):
+        benchmark(
+            _run_one(
+                build_cider,
+                "macho",
+                "fork_exec",
+                child="/system/bin/hello",
+            )
+        )
+
+    def test_shape_fork_exit_absolutes(self, fig5_result):
+        """Paper: 245us (Linux binary) vs 3.75ms (iOS binary)."""
+        raw = fig5_result.raw
+        assert raw["android"]["fork_exit"] == pytest.approx(245_000, rel=0.1)
+        assert raw["cider_ios"]["fork_exit"] == pytest.approx(3_750_000, rel=0.1)
+
+    def test_shape_fork_exec_android_absolute(self, fig5_result):
+        """Paper: the vanilla test run time is roughly 590us."""
+        raw = fig5_result.raw
+        assert raw["android"]["fork_exec_android"] == pytest.approx(
+            590_000, rel=0.1
+        )
+
+
+class TestGroup4IPCAndFiles:
+    def test_bench_pipe_vanilla(self, benchmark, fig5_result):
+        benchmark(_run_one(build_vanilla_android, "elf", "pipe"))
+
+    def test_bench_select_ipad(self, benchmark, fig5_result):
+        benchmark(_run_one(build_ipad_mini, "macho", "select"))
+
+    def test_bench_files_cider_ios(self, benchmark, fig5_result):
+        benchmark(_run_one(build_cider, "macho", "files"))
+
+    def test_shape_select_blowup(self, fig5_result):
+        import math
+
+        normalized = fig5_result.normalized()
+        assert normalized["select_100"]["ios"] > 10
+        assert math.isnan(normalized["select_250"]["ios"])

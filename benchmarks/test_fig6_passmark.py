@@ -1,0 +1,134 @@
+"""Figure 6 regeneration benches: PassMark across the configurations."""
+
+import pytest
+
+from repro.cider.system import build_cider, build_ipad_mini, build_vanilla_android
+from repro.workloads.passmark import install_passmark
+
+
+def _run_subset(build, which, tests):
+    def once():
+        system = build()
+        try:
+            path = install_passmark(system.kernel, which)
+            out = {}
+            system.run_program(path, [path, {"out": out, "tests": tests}])
+            return out
+        finally:
+            system.shutdown()
+
+    return once
+
+
+class TestCPUGroup:
+    def test_bench_cpu_android_interpreted(self, benchmark, fig6_result):
+        out = benchmark(
+            _run_subset(
+                build_vanilla_android,
+                "android",
+                ["cpu_integer", "cpu_float", "cpu_primes"],
+            )
+        )
+        assert out["cpu_integer"] > 0
+
+    def test_bench_cpu_ios_native_on_cider(self, benchmark, fig6_result):
+        out = benchmark(
+            _run_subset(
+                build_cider, "ios", ["cpu_integer", "cpu_float", "cpu_primes"]
+            )
+        )
+        assert out["cpu_integer"] > 0
+
+    def test_shape_native_beats_interpreted(self, fig6_result):
+        normalized = fig6_result.normalized()
+        for metric in ("cpu_integer", "cpu_float", "cpu_encryption"):
+            assert normalized[metric]["cider_ios"] > 2
+            assert normalized[metric]["cider_ios"] > normalized[metric]["ios"]
+
+
+class TestStorageGroup:
+    def test_bench_storage_cider_ios(self, benchmark, fig6_result):
+        benchmark(
+            _run_subset(build_cider, "ios", ["storage_write", "storage_read"])
+        )
+
+    def test_shape_ipad_write_advantage(self, fig6_result):
+        normalized = fig6_result.normalized()
+        assert normalized["storage_write"]["ios"] > 1.5
+        assert normalized["storage_read"]["cider_ios"] == pytest.approx(
+            1.0, rel=0.1
+        )
+
+
+class TestMemoryGroup:
+    def test_bench_memory_android(self, benchmark, fig6_result):
+        benchmark(
+            _run_subset(
+                build_vanilla_android, "android", ["memory_write", "memory_read"]
+            )
+        )
+
+    def test_shape_cider_fastest(self, fig6_result):
+        normalized = fig6_result.normalized()
+        for metric in ("memory_write", "memory_read"):
+            assert (
+                normalized[metric]["cider_ios"]
+                > normalized[metric]["ios"]
+                > normalized[metric]["android"]
+            )
+
+
+class TestGfx2DGroup:
+    def test_bench_2d_android(self, benchmark, fig6_result):
+        benchmark(
+            _run_subset(
+                build_vanilla_android,
+                "android",
+                ["gfx2d_solid", "gfx2d_complex", "gfx2d_image"],
+            )
+        )
+
+    def test_bench_2d_cider_ios(self, benchmark, fig6_result):
+        benchmark(
+            _run_subset(
+                build_cider,
+                "ios",
+                ["gfx2d_solid", "gfx2d_complex", "gfx2d_image"],
+            )
+        )
+
+    def test_shape_android_2d_advantage_except_complex(self, fig6_result):
+        normalized = fig6_result.normalized()
+        assert normalized["gfx2d_solid"]["cider_ios"] < 0.9
+        assert normalized["gfx2d_complex"]["cider_ios"] > 1.2
+
+    def test_shape_fence_bug_tanks_image_rendering(self, fig6_result):
+        normalized = fig6_result.normalized()
+        assert (
+            normalized["gfx2d_image"]["cider_ios"]
+            < normalized["gfx2d_image"]["ios"]
+        )
+
+
+class TestGfx3DGroup:
+    def test_bench_3d_android(self, benchmark, fig6_result):
+        benchmark(
+            _run_subset(build_vanilla_android, "android", ["gfx3d_simple"])
+        )
+
+    def test_bench_3d_cider_ios_diplomats(self, benchmark, fig6_result):
+        benchmark(_run_subset(build_cider, "ios", ["gfx3d_simple"]))
+
+    def test_bench_3d_ipad_native(self, benchmark, fig6_result):
+        benchmark(_run_subset(build_ipad_mini, "ios", ["gfx3d_simple"]))
+
+    def test_shape_diplomat_overhead_window(self, fig6_result):
+        """Paper: the iOS binary on Cider performs 20-37% worse than the
+        Android PassMark on 3D."""
+        normalized = fig6_result.normalized()
+        for metric in ("gfx3d_simple", "gfx3d_complex"):
+            assert 0.63 <= normalized[metric]["cider_ios"] <= 0.80
+
+    def test_shape_ipad_gpu_wins(self, fig6_result):
+        normalized = fig6_result.normalized()
+        assert normalized["gfx3d_simple"]["ios"] > 1.2

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation: Figures 5 and 6.
+
+Builds all four measured configurations (vanilla Android, Cider running
+Linux binaries, Cider running iOS binaries, the iPad mini), runs the
+lmbench and PassMark suites, and prints the normalised series the paper
+plots.  Pass ``--fig5`` or ``--fig6`` to run one figure only.
+
+Run:  python examples/evaluation.py [--fig5|--fig6]
+"""
+
+import sys
+
+from repro.workloads.harness import run_figure5, run_figure6
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "both"
+    if which in ("--fig5", "both"):
+        result = run_figure5(iters=6)
+        print(
+            result.format_table(
+                "Figure 5: lmbench microbenchmark latencies",
+                higher_is_better=False,
+            )
+        )
+        raw = result.raw
+        print("\nabsolute anchors (paper §6.2):")
+        print(
+            f"  fork+exit  Linux binary: {raw['android']['fork_exit']/1000:8.1f} us"
+            "   (paper: ~245 us)"
+        )
+        print(
+            f"  fork+exit  iOS binary:   {raw['cider_ios']['fork_exit']/1000:8.1f} us"
+            "   (paper: ~3750 us)"
+        )
+        print(
+            f"  fork+exec  Linux binary: {raw['android']['fork_exec_android']/1000:8.1f} us"
+            "   (paper: ~590 us)"
+        )
+        print()
+    if which in ("--fig6", "both"):
+        result = run_figure6()
+        print(
+            result.format_table(
+                "Figure 6: PassMark app throughput", higher_is_better=True
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

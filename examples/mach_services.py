@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Mach IPC on Linux: unmodified iOS services over duct tape.
+
+Demonstrates the §4.2 subsystem: launchd's bootstrap namespace, configd
+key/value RPCs, cross-process notifyd notifications, and a custom Mach
+service registered by one iOS process and used by another — all running
+on the duct-taped Mach IPC subsystem inside the Linux kernel.
+
+Run:  python examples/mach_services.py
+"""
+
+from repro.binfmt import macho_executable
+from repro.cider.system import build_cider
+from repro.ios.services import configd_get, configd_set, notify_post, notify_register
+from repro.xnu.ipc import MACH_MSG_SUCCESS, MachMessage
+
+
+def main() -> None:
+    system = build_cider()
+    kernel = system.kernel
+
+    def demo_main(ctx, argv):
+        libc = ctx.libc
+        print("inside an iOS process (persona:", ctx.thread.persona.name + ")")
+
+        # 1. configd over bootstrap lookup + Mach RPC.
+        print("\n[configd]")
+        print("  Model =", configd_get(ctx, "Model"))
+        configd_set(ctx, "UserAssignedName", "cider-demo-tablet")
+        print("  UserAssignedName =", configd_get(ctx, "UserAssignedName"))
+
+        # 2. notifyd: register, then a forked child posts.
+        print("\n[notifyd]")
+        port = notify_register(ctx, "com.example.demo.ping")
+
+        def child(cctx):
+            delivered = notify_post(cctx, "com.example.demo.ping")
+            print(f"  child posted notification to {delivered} registration(s)")
+            return 0
+
+        pid = libc.fork(child)
+        code, msg = libc.mach_msg_receive(port)
+        print("  parent received:", msg.body)
+        libc.waitpid(pid)
+
+        # 3. A custom Mach service: echo server on a worker thread.
+        print("\n[custom service]")
+        kr, service_port = libc.mach_port_allocate()
+        libc.bootstrap_register("com.example.echo", service_port)
+
+        def server(tctx):
+            slibc = tctx.libc
+            code, request = slibc.mach_msg_receive(service_port)
+            slibc.mach_msg_send(
+                request.reply_port_name,
+                MachMessage(request.msg_id + 100,
+                            body=str(request.body).upper()),
+            )
+            return 0
+
+        libc.pthread_create(server)
+        found = libc.bootstrap_look_up("com.example.echo")
+        code, reply = libc.mach_msg_rpc(
+            found, MachMessage(1, body="hello mach ipc")
+        )
+        assert code == MACH_MSG_SUCCESS
+        print("  echo service replied:", reply.body)
+
+        subsystem = kernel.mach_subsystem
+        print(
+            f"\nkernel Mach IPC counters: sent={subsystem.messages_sent} "
+            f"received={subsystem.messages_received}"
+        )
+        return 0
+
+    image = macho_executable("machdemo", demo_main, text_kb=64)
+    kernel.vfs.install_binary("/bin/machdemo", image)
+    system.run_program("/bin/machdemo")
+
+    linked = system.ios.linked_subsystems["mach_ipc"]
+    print(
+        "\nduct-tape link report: foreign exports "
+        f"{sorted(linked.exports)[:4]}..., symbol conflicts remapped: "
+        f"{linked.remapped}"
+    )
+    system.shutdown()
+
+
+if __name__ == "__main__":
+    main()

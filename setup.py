@@ -1,0 +1,7 @@
+"""Legacy setup shim (the environment lacks the `wheel` package, so the
+PEP 517 editable-install path is unavailable; metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Cider reproduction: native execution of iOS apps on Android (ASPLOS'14).
+
+A deterministic full-system simulation of the Cider OS-compatibility
+architecture.  Public entry points:
+
+* :mod:`repro.cider.system` — builders for the paper's four measured
+  configurations (vanilla Android, Cider running Android binaries, Cider
+  running iOS binaries, the iPad mini).
+* :mod:`repro.workloads` — lmbench and PassMark reimplementations.
+* :mod:`repro.hw` — device profiles and machines.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+
+def build_vanilla_android(*args, **kwargs):
+    """Convenience re-export of :func:`repro.cider.system.build_vanilla_android`."""
+    from .cider.system import build_vanilla_android as builder
+
+    return builder(*args, **kwargs)
+
+
+def build_cider(*args, **kwargs):
+    """Convenience re-export of :func:`repro.cider.system.build_cider`."""
+    from .cider.system import build_cider as builder
+
+    return builder(*args, **kwargs)
+
+
+def build_ipad_mini(*args, **kwargs):
+    """Convenience re-export of :func:`repro.cider.system.build_ipad_mini`."""
+    from .cider.system import build_ipad_mini as builder
+
+    return builder(*args, **kwargs)

@@ -1,0 +1,209 @@
+"""Bionic: the domestic (Android) C library.
+
+A facade over the Linux syscall ABI.  Every call traps with a Linux
+syscall number through the calling thread's persona; failures come back as
+``-errno`` and are decoded into the *Android TLS area's* errno slot — the
+exact TLS-layout contract that diplomatic functions must preserve when
+they cross personas (paper §4.3, arbitration step 8).
+
+State (atexit/atfork handler lists) lives in the process's per-library
+state dictionary, so it survives across facade instances and is copied on
+fork like real COW data pages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..kernel import syscalls_linux as nr
+from ..kernel.files import O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY
+from ..kernel.process import UserContext
+
+LIB_STATE_KEY = "bionic"
+
+
+class Bionic:
+    """The libc facade bound to one user context."""
+
+    def __init__(self, ctx: UserContext) -> None:
+        self._ctx = ctx
+        self._thread = ctx.thread
+
+    # -- trap plumbing -----------------------------------------------------------
+
+    def _state(self) -> dict:
+        state = self._ctx.lib_state(LIB_STATE_KEY)
+        state.setdefault("atexit", [])
+        state.setdefault("atfork", [])
+        return state
+
+    def _trap(self, number: int, *args: object) -> object:
+        result = self._thread.trap(number, *args)
+        if isinstance(result, int) and result < 0:
+            self._thread.errno = -result
+            return -1
+        return result
+
+    @property
+    def errno(self) -> int:
+        return self._thread.errno
+
+    # -- identity -----------------------------------------------------------------
+
+    def getpid(self) -> int:
+        return self._trap(nr.NR_getpid)
+
+    def getppid(self) -> int:
+        return self._trap(nr.NR_getppid)
+
+    def gettid(self) -> int:
+        return self._trap(nr.NR_gettid)
+
+    # -- files ---------------------------------------------------------------------
+
+    def open(self, path: str, flags: int = O_RDONLY) -> int:
+        return self._trap(nr.NR_open, path, flags)
+
+    def creat(self, path: str) -> int:
+        return self._trap(nr.NR_open, path, O_CREAT | O_WRONLY | O_TRUNC)
+
+    def close(self, fd: int) -> int:
+        return self._trap(nr.NR_close, fd)
+
+    def read(self, fd: int, nbytes: int) -> object:
+        return self._trap(nr.NR_read, fd, nbytes)
+
+    def write(self, fd: int, data: bytes) -> object:
+        return self._trap(nr.NR_write, fd, data)
+
+    def lseek(self, fd: int, offset: int, whence: int = 0) -> int:
+        return self._trap(nr.NR_lseek, fd, offset, whence)
+
+    def unlink(self, path: str) -> int:
+        return self._trap(nr.NR_unlink, path)
+
+    def mkdir(self, path: str) -> int:
+        return self._trap(nr.NR_mkdir, path)
+
+    def rmdir(self, path: str) -> int:
+        return self._trap(nr.NR_rmdir, path)
+
+    def stat(self, path: str) -> object:
+        return self._trap(nr.NR_stat, path)
+
+    def ioctl(self, fd: int, request: int, arg: object = None) -> object:
+        return self._trap(nr.NR_ioctl, fd, request, arg)
+
+    def dup(self, fd: int) -> int:
+        return self._trap(nr.NR_dup, fd)
+
+    def dup2(self, fd: int, newfd: int) -> int:
+        return self._trap(nr.NR_dup2, fd, newfd)
+
+    def pipe(self) -> object:
+        return self._trap(nr.NR_pipe)
+
+    def select(
+        self,
+        read_fds: List[int],
+        write_fds: Optional[List[int]] = None,
+        timeout_ns: Optional[float] = 0,
+    ) -> object:
+        return self._trap(nr.NR_select, read_fds, write_fds or [], timeout_ns)
+
+    def readdir(self, path: str) -> List[str]:
+        """opendir/readdir/closedir in one convenience call."""
+        fd = self.open(path)
+        if fd == -1:
+            return []
+        names = []
+        while True:
+            name = self._trap(nr.NR_getdents, fd)
+            if name is None or name == -1:
+                break
+            names.append(name)
+        self.close(fd)
+        return names
+
+    # -- sockets -------------------------------------------------------------------
+
+    def socket(self) -> int:
+        return self._trap(nr.NR_socket)
+
+    def bind(self, fd: int, path: str, backlog: int = 8) -> int:
+        return self._trap(nr.NR_bind, fd, path, backlog)
+
+    def connect(self, fd: int, path: str) -> int:
+        return self._trap(nr.NR_connect, fd, path)
+
+    def accept(self, fd: int) -> int:
+        return self._trap(nr.NR_accept, fd)
+
+    def socketpair(self) -> object:
+        return self._trap(nr.NR_socketpair)
+
+    # -- processes ------------------------------------------------------------------
+
+    def fork(self, child_body: Callable[[UserContext], object]) -> int:
+        """fork(2).  Runs registered atfork handlers around the syscall;
+        the child runs ``child_body`` (see :mod:`repro.kernel.process`)."""
+        atfork: List[Tuple] = self._state()["atfork"]
+        machine = self._ctx.machine
+        if atfork:  # prepare + parent phases, charged per handler
+            machine.charge("atfork_handler", len(atfork))
+
+        def child_with_handlers(child_ctx: UserContext) -> object:
+            if atfork:
+                machine.charge("atfork_handler", len(atfork))
+            return child_body(child_ctx)
+
+        return self._trap(nr.NR_fork, child_with_handlers)
+
+    def execve(self, path: str, argv: Optional[List[str]] = None) -> int:
+        return self._trap(nr.NR_execve, path, argv or [path])
+
+    def waitpid(self, pid: int = -1) -> object:
+        return self._trap(nr.NR_waitpid, pid)
+
+    def exit(self, code: int = 0) -> None:
+        """Run atexit handlers, then terminate the process."""
+        state = self._state()
+        handlers = state["atexit"]
+        if handlers:
+            self._ctx.machine.charge("atexit_handler", len(handlers))
+            for handler in reversed(list(handlers)):
+                if callable(handler):
+                    handler(self._ctx)
+            handlers.clear()
+        self._trap(nr.NR_exit, code)
+
+    def atexit(self, handler: object) -> None:
+        self._state()["atexit"].append(handler)
+
+    def pthread_atfork(self, handler: object) -> None:
+        self._state()["atfork"].append(handler)
+
+    # -- threads ------------------------------------------------------------------------
+
+    def pthread_create(
+        self, fn: Callable[[UserContext], object], name: str = "pthread"
+    ) -> int:
+        return self._trap(nr.NR_clone, fn, name)
+
+    def sched_yield(self) -> int:
+        return self._trap(nr.NR_sched_yield)
+
+    def nanosleep(self, duration_ns: float) -> int:
+        return self._trap(nr.NR_nanosleep, duration_ns)
+
+    # -- signals -------------------------------------------------------------------------
+
+    def signal(self, signum: int, handler: object) -> object:
+        """signal(2)-style registration (Linux numbering)."""
+        return self._trap(nr.NR_sigaction, signum, handler)
+
+    def kill(self, pid: int, signum: int) -> int:
+        return self._trap(nr.NR_kill, pid, signum)
+
+    def raise_(self, signum: int) -> int:
+        return self.kill(self.getpid(), signum)

@@ -1,0 +1,72 @@
+"""libandroidnotify: the Android system-notification library.
+
+The paper's example of a *targeted* diplomatic function: "Cider can
+replace an entire foreign library with diplomats, or it can define a
+single diplomat to use targeted functionality in a domestic library such
+as popping up a system notification" (§4.3).  This is the domestic
+library such a diplomat targets: it posts entries to the device's status
+bar.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+
+class StatusBar:
+    """Machine-level notification shade."""
+
+    def __init__(self) -> None:
+        self.notifications: List[Dict[str, object]] = []
+
+    def post(self, app: str, title: str, text: str) -> int:
+        entry = {
+            "id": len(self.notifications) + 1,
+            "app": app,
+            "title": title,
+            "text": text,
+        }
+        self.notifications.append(entry)
+        return entry["id"]
+
+    def cancel(self, notification_id: int) -> bool:
+        before = len(self.notifications)
+        self.notifications = [
+            n for n in self.notifications if n["id"] != notification_id
+        ]
+        return len(self.notifications) != before
+
+
+def _status_bar(ctx: "UserContext") -> StatusBar:
+    bar = getattr(ctx.machine, "status_bar", None)
+    if bar is None:
+        bar = StatusBar()
+        ctx.machine.status_bar = bar
+    return bar
+
+
+# -- exported entry points (ELF symbols) --------------------------------------
+
+
+def android_notify_post(
+    ctx: "UserContext", title: str, text: str = ""
+) -> int:
+    """Post a status-bar notification; returns its id."""
+    ctx.machine.charge("input_event_route")  # NotificationManager hop
+    ctx.machine.emit("notification", "post", title=title)
+    return _status_bar(ctx).post(ctx.process.name, title, text)
+
+
+def android_notify_cancel(ctx: "UserContext", notification_id: int) -> bool:
+    ctx.machine.charge("input_event_route")
+    return _status_bar(ctx).cancel(notification_id)
+
+
+def notify_exports() -> Dict[str, object]:
+    return {
+        "android_notify_post": android_notify_post,
+        "android_notify_cancel": android_notify_cancel,
+    }

@@ -1,0 +1,84 @@
+"""Skia-like 2D raster library (libskia).
+
+Android's CPU-bound 2D drawing path.  The paper's PassMark 2D results
+show Android's 2D libraries are better optimised than the iOS core
+graphics path for most primitives — except complex vectors (§6.3).  That
+asymmetry is expressed as per-primitive efficiency multipliers relative
+to the shared ``raster2d_*`` base costs; the iOS CoreGraphics library
+(:mod:`repro.ios.coregraphics`) carries its own multiplier table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..hw.display import PixelBuffer
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+#: Skia's per-primitive code-quality multipliers (the reference library).
+SKIA_MULTIPLIERS: Dict[str, float] = {
+    "raster2d_solid_op": 1.0,
+    "raster2d_trans_op": 1.0,
+    "raster2d_complex_op": 1.0,  # complex path rendering is Skia's weak spot
+    "raster2d_image_op": 1.0,
+    "raster2d_filter_op": 1.0,
+}
+
+
+class Canvas:
+    """A drawing target bound to a pixel buffer."""
+
+    def __init__(self, pixels: PixelBuffer, multipliers: Dict[str, float]):
+        self.pixels = pixels
+        self.multipliers = multipliers
+        self.ops = 0
+
+    def _charge(self, ctx: "UserContext", cost: str, units: float) -> None:
+        factor = self.multipliers.get(cost, 1.0)
+        ctx.machine.clock.charge(ctx.machine.costs[cost] * units * factor)
+        self.ops += int(units)
+
+    # -- primitives (units are pixel-ops) ------------------------------------
+
+    def draw_solid_vector(self, ctx, x0, y0, x1, y1, ch="#", units=64):
+        self._charge(ctx, "raster2d_solid_op", units)
+        self.pixels.fill_rect(
+            min(x0, x1), min(y0, y1), abs(x1 - x0) + 1, abs(y1 - y0) + 1, ch
+        )
+
+    def draw_transparent_vector(self, ctx, x0, y0, x1, y1, ch="+", units=64):
+        self._charge(ctx, "raster2d_trans_op", units)
+        self.pixels.fill_rect(
+            min(x0, x1), min(y0, y1), abs(x1 - x0) + 1, abs(y1 - y0) + 1, ch
+        )
+
+    def draw_complex_vector(self, ctx, points, ch="~", units=256):
+        """Bezier/path rendering: many segments, joins, anti-aliasing."""
+        self._charge(ctx, "raster2d_complex_op", units)
+        for x, y in points:
+            self.pixels.fill_rect(x, y, 1, 1, ch)
+
+    def draw_image(self, ctx, x, y, w, h, units=None):
+        self._charge(ctx, "raster2d_image_op", units or (w * h) / 256)
+        self.pixels.fill_rect(x, y, w, h, "@")
+
+    def apply_filter(self, ctx, w, h, units=None):
+        self._charge(ctx, "raster2d_filter_op", units or (w * h) / 128)
+
+    def fill_rect(self, ctx, x, y, w, h, ch=" "):
+        self._charge(ctx, "raster2d_solid_op", max(1, (w * h) / 512))
+        self.pixels.fill_rect(x, y, w, h, ch)
+
+    def draw_text(self, ctx, x, y, text):
+        self._charge(ctx, "raster2d_solid_op", len(text))
+        self.pixels.draw_text(x, y, text)
+
+
+def skia_create_canvas(ctx: "UserContext", pixels: PixelBuffer) -> Canvas:
+    return Canvas(pixels, SKIA_MULTIPLIERS)
+
+
+def skia_exports() -> Dict[str, object]:
+    return {"skia_create_canvas": skia_create_canvas}

@@ -1,0 +1,132 @@
+"""SurfaceFlinger: Android's rendering engine and display compositor.
+
+Owns the display: apps obtain window memory (surfaces), draw into the
+back buffer, and post; SurfaceFlinger composes every visible surface by
+z-order using the GPU and pushes the final frame to the panel (paper §2).
+
+Cider routes iOS window memory through here too — "allocating window
+memory via the standard Android SurfaceFlinger service also allows Cider
+to manage the iOS display in the same manner that all Android app windows
+are managed" (§5.3), which is what makes screenshots of iOS apps appear
+in Android's recents list.
+
+Simulation note: the real SurfaceFlinger is a separate process reached
+over binder; here it is a service object called directly.  The binder hop
+cost is folded into the ``composition`` charge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..hw.display import PixelBuffer
+from ..hw.gpu import GpuCommand
+from .gralloc import GraphicBuffer
+
+if TYPE_CHECKING:
+    from ..hw.machine import Machine
+
+
+class Surface:
+    """A double-buffered window surface."""
+
+    _next_id = 1
+
+    def __init__(
+        self,
+        flinger: "SurfaceFlinger",
+        name: str,
+        width_px: int,
+        height_px: int,
+        z_order: int,
+        x: int = 0,
+        y: int = 0,
+    ) -> None:
+        self.surface_id = Surface._next_id
+        Surface._next_id += 1
+        self.flinger = flinger
+        self.name = name
+        self.width_px = width_px
+        self.height_px = height_px
+        self.z_order = z_order
+        self.x = x
+        self.y = y
+        self.visible = True
+        self.front = GraphicBuffer(width_px, height_px, usage="window")
+        self.back = GraphicBuffer(width_px, height_px, usage="window")
+        self.posts = 0
+
+    def lock_back(self) -> PixelBuffer:
+        """The buffer the app draws into."""
+        return self.back.pixels
+
+    def post(self) -> None:
+        """Swap buffers and trigger composition."""
+        self.front, self.back = self.back, self.front
+        self.posts += 1
+        self.flinger.composite()
+
+    def screenshot(self) -> str:
+        return self.front.pixels.to_text()
+
+
+class SurfaceFlinger:
+    """The compositor service."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.surfaces: List[Surface] = []
+        self.compositions = 0
+
+    # -- surface management ------------------------------------------------------
+
+    def create_surface(
+        self,
+        name: str,
+        width_px: int,
+        height_px: int,
+        z_order: int = 0,
+        x: int = 0,
+        y: int = 0,
+    ) -> Surface:
+        surface = Surface(self, name, width_px, height_px, z_order, x, y)
+        self.surfaces.append(surface)
+        return surface
+
+    def destroy_surface(self, surface: Surface) -> None:
+        if surface in self.surfaces:
+            self.surfaces.remove(surface)
+        self.composite()
+
+    def find_surface(self, name: str) -> Optional[Surface]:
+        for surface in self.surfaces:
+            if surface.name == name:
+                return surface
+        return None
+
+    # -- composition -----------------------------------------------------------------
+
+    def composite(self) -> None:
+        """Blend all visible surfaces by z-order onto the panel."""
+        machine = self.machine
+        machine.charge("composition")
+        frame = PixelBuffer(
+            machine.display.width_px, machine.display.height_px
+        )
+        visible = sorted(
+            (s for s in self.surfaces if s.visible), key=lambda s: s.z_order
+        )
+        commands = []
+        for surface in visible:
+            frame.blit(surface.front.pixels, surface.x, surface.y)
+            blocks = (surface.width_px * surface.height_px) // 4096
+            commands.append(
+                GpuCommand("blit", fragment_blocks=max(1, blocks))
+            )
+        if commands:
+            machine.gpu.submit(commands)
+        machine.display.post(frame)
+        self.compositions += 1
+
+    def screenshot(self) -> str:
+        return self.machine.display.screenshot()

@@ -1,0 +1,28 @@
+"""Cider system integration: the public entry points of the reproduction."""
+
+from .installer import (
+    DecryptionError,
+    InstallError,
+    InstalledApp,
+    IpaPackage,
+    decrypt_ipa,
+    install_ipa,
+    register_with_launcher,
+    unpack_ipa,
+)
+from .system import System, build_cider, build_ipad_mini, build_vanilla_android
+
+__all__ = [
+    "DecryptionError",
+    "InstallError",
+    "InstalledApp",
+    "IpaPackage",
+    "decrypt_ipa",
+    "install_ipa",
+    "register_with_launcher",
+    "unpack_ipa",
+    "System",
+    "build_cider",
+    "build_ipad_mini",
+    "build_vanilla_android",
+]

@@ -1,0 +1,142 @@
+"""iOS app installation: `.ipa` packages, decryption, Launcher shortcuts.
+
+Paper §6.1: App Store apps "are encrypted and must be decrypted using
+keys stored in encrypted, non-volatile memory found in an Apple device";
+the authors used a gdb-based script on a jailbroken iPhone 3GS to dump
+the decrypted text segment and re-package it, then "a small background
+process automatically unpacked each .ipa and created Android shortcuts on
+the Launcher home screen, pointing each one to the CiderPress Android
+app", using the iOS app's icon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..binfmt import BinaryImage
+from ..hw.machine import DeviceProfile
+
+if TYPE_CHECKING:
+    from ..android.framework import AndroidFramework
+    from .system import System
+
+
+class InstallError(Exception):
+    pass
+
+
+class DecryptionError(InstallError):
+    """Decryption attempted somewhere without Apple's keys."""
+
+
+@dataclass
+class IpaPackage:
+    """An iOS App Store Package."""
+
+    bundle_id: str
+    display_name: str
+    icon: str
+    binary: BinaryImage
+    data_files: Dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def encrypted(self) -> bool:
+        return self.binary.encrypted
+
+
+@dataclass
+class InstalledApp:
+    """One unpacked app on the Cider device."""
+
+    bundle_id: str
+    display_name: str
+    icon: str
+    binary_path: str
+    app_dir: str
+
+
+#: Profiles that hold Apple's per-device decryption keys.
+_APPLE_PROFILES = frozenset({"iphone3gs", "ipad_mini"})
+
+
+def decrypt_ipa(package: IpaPackage, device: DeviceProfile) -> IpaPackage:
+    """Run the gdb dump-and-repackage script on a jailbroken device."""
+    if not package.encrypted:
+        return package
+    if device.name not in _APPLE_PROFILES:
+        raise DecryptionError(
+            f"{device.name} has no Apple decryption keys; use a jailbroken "
+            "iPhone/iPad (paper §6.1)"
+        )
+    decrypted_binary = package.binary.decrypted_copy()
+    return IpaPackage(
+        bundle_id=package.bundle_id,
+        display_name=package.display_name,
+        icon=package.icon,
+        binary=decrypted_binary,
+        data_files=dict(package.data_files),
+    )
+
+
+def unpack_ipa(system: "System", package: IpaPackage) -> InstalledApp:
+    """Unpack a (decrypted) .ipa into the overlay filesystem.
+
+    Note: an encrypted package installs fine — it is the Mach-O loader
+    that refuses it at launch, exactly like the prototype.
+    """
+    vfs = system.kernel.vfs
+    app_dir = f"/var/mobile/Applications/{package.bundle_id}"
+    vfs.makedirs(app_dir)
+    vfs.makedirs(f"{app_dir}/Documents")
+    binary_path = f"{app_dir}/{package.binary.name}"
+    vfs.install_binary(binary_path, package.binary)
+    for rel_path, data in package.data_files.items():
+        full = f"{app_dir}/{rel_path}"
+        parts = full.rsplit("/", 1)
+        vfs.makedirs(parts[0])
+        vfs.create_file(full, data=data, exist_ok=True)
+    return InstalledApp(
+        bundle_id=package.bundle_id,
+        display_name=package.display_name,
+        icon=package.icon,
+        binary_path=binary_path,
+        app_dir=app_dir,
+    )
+
+
+def install_ipa(
+    system: "System",
+    package: IpaPackage,
+    framework: Optional["AndroidFramework"] = None,
+) -> InstalledApp:
+    """The background unpacker: unpack + CiderPress Launcher shortcut."""
+    installed = unpack_ipa(system, package)
+    if framework is not None:
+        register_with_launcher(framework, installed)
+    return installed
+
+
+def register_with_launcher(
+    framework: "AndroidFramework", installed: InstalledApp
+) -> str:
+    """Install a CiderPress-backed app entry and its home-screen
+    shortcut (using the iOS app's own icon)."""
+    from ..android.framework import Shortcut
+    from .ciderpress import CiderPress
+
+    app_key = f"ciderpress:{installed.display_name}"
+    framework.install_app(
+        app_key,
+        lambda: CiderPress(
+            installed.binary_path,
+            installed.display_name,
+            icon=installed.icon,
+        ),
+    )
+    launcher_record = framework.running.get("launcher")
+    if launcher_record is not None:
+        launcher_record.app.add_shortcut(
+            Shortcut(installed.display_name, installed.icon, app_key)
+        )
+    return app_key

@@ -1,0 +1,133 @@
+"""System configuration builders — the paper's four measured systems.
+
+* :func:`build_vanilla_android` — Linux binaries and Android apps on
+  unmodified Android (the normalisation baseline).
+* :func:`build_cider` — the Cider kernel on the Nexus 7: Linux ABI plus
+  the full XNU compatibility architecture (personas, Mach-O loader,
+  duct-taped Mach IPC / psynch / I/O Kit, signal translation,
+  ``set_persona``), running Android *and* iOS binaries.
+* :func:`build_ipad_mini` — iOS binaries on a jailbroken iPad mini: the
+  XNU-native kernel personality on the Apple device profile.
+
+Each builder returns a :class:`System`, the public handle used by tests,
+examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..android.binaries import install_base_android
+from ..android.bionic import Bionic
+from ..hw.machine import DeviceProfile, Machine
+from ..hw.profiles import ipad_mini, nexus7
+from ..kernel import ElfLoader, Kernel
+from ..kernel.process import Process
+from ..kernel.syscalls_linux import LinuxABI
+from ..persona import ANDROID_TLS_LAYOUT, IOS_TLS_LAYOUT, Persona
+
+
+class System:
+    """A booted system under test."""
+
+    def __init__(self, machine: Machine, kernel: Kernel, label: str) -> None:
+        self.machine = machine
+        self.kernel = kernel
+        self.label = label
+        #: Populated by the Android framework boot (build steps below).
+        self.android = None
+        #: Populated on Cider/iOS systems.
+        self.ios = None
+
+    # -- running programs -----------------------------------------------------
+
+    def run_program(
+        self, path: str, argv: Optional[List[str]] = None
+    ) -> int:
+        """Launch ``path`` and run the simulation until it exits."""
+        process = self.kernel.start_process(path, argv)
+        return self.wait_for(process)
+
+    def wait_for(self, process: Process) -> int:
+        thread = process.main_thread()
+        result = self.machine.scheduler.run_until_done(thread.sim_thread)
+        return result if isinstance(result, int) else 0
+
+    def run_until_idle(self) -> None:
+        self.machine.run()
+
+    def shutdown(self) -> None:
+        self.machine.shutdown()
+
+    def __enter__(self) -> "System":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"<System {self.label!r} on {self.machine.profile.name!r}>"
+
+
+def _boot_linux_kernel(profile: DeviceProfile, label: str) -> System:
+    machine = profile.boot()
+    kernel = Kernel(machine, name="linux").boot()
+    android_persona = Persona("android", LinuxABI(), ANDROID_TLS_LAYOUT)
+    kernel.register_persona(android_persona, default=True)
+    kernel.register_loader(ElfLoader(Bionic))
+    install_base_android(kernel)
+    # The display stack is always present on an Android device: the
+    # graphics .so set plus the SurfaceFlinger service.
+    from ..android.libs import install_android_graphics_libs
+    from ..android.surfaceflinger import SurfaceFlinger
+
+    install_android_graphics_libs(kernel)
+    machine.surfaceflinger = SurfaceFlinger(machine)
+    return System(machine, kernel, label)
+
+
+def build_vanilla_android(
+    profile: Optional[DeviceProfile] = None,
+    with_framework: bool = False,
+) -> System:
+    """Configuration 1: unmodified Android."""
+    system = _boot_linux_kernel(profile or nexus7(), "vanilla-android")
+    if with_framework:
+        from ..android.framework import boot_android_framework
+
+        system.android = boot_android_framework(system)
+    return system
+
+
+def build_cider(
+    profile: Optional[DeviceProfile] = None,
+    with_framework: bool = False,
+    fence_bug: bool = True,
+    shared_cache: bool = False,
+) -> System:
+    """Configurations 2 and 3: the Cider kernel on the Nexus 7.
+
+    ``fence_bug`` keeps the prototype's broken GLES fence primitive
+    (paper §6.3); ``shared_cache`` enables the dyld shared cache the
+    prototype lacked (paper future work) — both are ablation toggles.
+    """
+    system = _boot_linux_kernel(profile or nexus7(), "cider")
+    from .enable import enable_cider
+
+    enable_cider(system, fence_bug=fence_bug, shared_cache=shared_cache)
+    if with_framework:
+        from ..android.framework import boot_android_framework
+
+        system.android = boot_android_framework(system)
+    return system
+
+
+def build_ipad_mini(with_springboard: bool = False) -> System:
+    """Configuration 4: iOS binaries on the iPad mini (XNU-native)."""
+    machine = ipad_mini().boot()
+    kernel = Kernel(machine, name="xnu").boot()
+    from .enable import enable_xnu_native
+
+    system = System(machine, kernel, "ipad-mini")
+    enable_xnu_native(system, with_springboard=with_springboard)
+    return system

@@ -1,0 +1,75 @@
+"""The Mach-O binary loader for the Linux kernel.
+
+Registered on Cider (and XNU-native) kernels alongside the ELF handler.
+When a Mach-O binary is loaded "the kernel tags the current thread with an
+iOS persona, used in all interactions with user space" (paper §4.1); the
+loader then invokes the user-space dynamic linker, dyld, exactly as XNU's
+Mach-O loader does.
+
+App Store binaries are encrypted (LC_ENCRYPTION_INFO); the loader refuses
+them — they must first pass through the decryption path of
+:mod:`repro.cider.installer` (paper §6.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..binfmt import Arch, BinaryFormat, BinaryImage
+from ..kernel.errno import ENOEXEC, SyscallError
+from ..kernel.loader import BinfmtHandler, LibcFactory, StartRoutine
+from ..ios.dyld import Dyld
+
+if TYPE_CHECKING:
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import KThread, Process, UserContext
+
+
+class MachOLoader(BinfmtHandler):
+    """binfmt handler for Mach-O executables."""
+
+    format = BinaryFormat.MACHO
+
+    def __init__(self, libc_factory: LibcFactory, dyld: Dyld) -> None:
+        self._libc_factory = libc_factory
+        self.dyld = dyld
+
+    def matches(self, image: BinaryImage) -> bool:
+        return image.format is BinaryFormat.MACHO
+
+    def load(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        thread: "KThread",
+        image: BinaryImage,
+        argv: List[str],
+    ) -> StartRoutine:
+        if image.encrypted:
+            raise SyscallError(
+                ENOEXEC,
+                f"{image.name}: encrypted App Store binary (decrypt first)",
+            )
+        if image.arch is not Arch.ARMV7:
+            raise SyscallError(ENOEXEC, f"{image.name}: wrong architecture")
+
+        machine = kernel.machine
+        machine.charge("macho_load_base")
+        machine.charge("macho_load_per_mb", image.vm_size_mb)
+        for seg in image.segments:
+            process.address_space.map(
+                f"{image.name}:{seg.name}", seg.size_bytes, seg.writable
+            )
+
+        # Tag the thread with the iOS persona (inherited on fork/clone).
+        thread.persona = kernel.personas.get("ios")
+        thread.tls()  # materialise the iOS TLS area
+
+        process.binary = image
+        process.libc_factory = self._libc_factory
+        dyld = self.dyld
+
+        def start(ctx: "UserContext") -> int:
+            return dyld.bootstrap(ctx, image, argv)
+
+        return start

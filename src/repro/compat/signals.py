@@ -1,0 +1,85 @@
+"""Linux ↔ XNU signal translation.
+
+The kernel generates and stores signals in Linux numbering; this
+translation layer converts at the ABI boundary "based on the persona of a
+given thread" (paper §4.1).  Both directions are covered:
+
+* delivery: a Linux-numbered signal delivered to an iOS-persona thread is
+  renumbered to XNU and pushed in a *larger XNU signal frame* (charged —
+  it is the +25% the paper measures on the signal microbenchmark);
+* generation: an iOS app's ``kill(pid, XNU_SIGUSR1)`` is converted to the
+  Linux number before delivery, so Android threads receive it correctly.
+
+The classic numbers (HUP..TERM, except BUS/USR1/USR2) coincide; the
+divergent ones are mapped below.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..kernel import signals as linux_signals
+
+if TYPE_CHECKING:
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import KThread
+    from ..kernel.signals import SigInfo
+
+# XNU signal numbers that differ from Linux/ARM.
+XNU_SIGEMT = 7
+XNU_SIGBUS = 10
+XNU_SIGSYS = 12
+XNU_SIGURG = 16
+XNU_SIGSTOP = 17
+XNU_SIGTSTP = 18
+XNU_SIGCONT = 19
+XNU_SIGCHLD = 20
+XNU_SIGIO = 23
+XNU_SIGINFO = 29
+XNU_SIGUSR1 = 30
+XNU_SIGUSR2 = 31
+
+#: Linux number -> XNU number for every divergent slot.  The mapping is
+#: a complete bijection over 1..31: signals with no counterpart on the
+#: other side (Linux SIGSTKFLT/SIGPWR, XNU SIGEMT/SIGINFO) are paired so
+#: that translation is invertible and no number collides.
+LINUX_TO_XNU: Dict[int, int] = {
+    linux_signals.SIGBUS: XNU_SIGBUS,  # 7 (BUS) -> 10
+    linux_signals.SIGUSR1: XNU_SIGUSR1,  # 10 -> 30
+    linux_signals.SIGUSR2: XNU_SIGUSR2,  # 12 -> 31
+    16: XNU_SIGEMT,  # Linux SIGSTKFLT (16) <-> XNU SIGEMT (7)
+    linux_signals.SIGCHLD: XNU_SIGCHLD,  # 17 -> 20
+    linux_signals.SIGCONT: XNU_SIGCONT,  # 18 -> 19
+    linux_signals.SIGSTOP: XNU_SIGSTOP,  # 19 -> 17
+    20: XNU_SIGTSTP,  # Linux SIGTSTP (20) -> 18
+    linux_signals.SIGURG: XNU_SIGURG,  # 23 -> 16
+    29: XNU_SIGIO,  # Linux SIGIO/SIGPOLL (29) -> 23
+    30: XNU_SIGINFO,  # Linux SIGPWR (30) <-> XNU SIGINFO (29)
+    31: XNU_SIGSYS,  # Linux SIGSYS (31) -> XNU SIGSYS (12)
+}
+
+XNU_TO_LINUX: Dict[int, int] = {xnu: lnx for lnx, xnu in LINUX_TO_XNU.items()}
+
+
+class SignalTranslator:
+    """Installed as ``kernel.signal_translator`` on Cider/XNU kernels."""
+
+    def to_xnu(self, linux_signum: int) -> int:
+        return LINUX_TO_XNU.get(linux_signum, linux_signum)
+
+    def to_linux(self, xnu_signum: int) -> int:
+        return XNU_TO_LINUX.get(xnu_signum, xnu_signum)
+
+    def prepare_delivery(
+        self, kernel: "Kernel", thread: "KThread", info: "SigInfo"
+    ) -> int:
+        """Called on the delivery path; returns the signal number in the
+        target thread's persona numbering and charges translation costs."""
+        if thread.persona.name != "ios":
+            return info.signum
+        machine = kernel.machine
+        # Translation of the signal information plus delivery of the
+        # larger signal structure expected by iOS binaries (paper §6.2).
+        machine.charge("signal_translate")
+        machine.charge("signal_large_frame")
+        return self.to_xnu(info.signum)

@@ -1,0 +1,34 @@
+"""Duct tape: compile-time adaptation of foreign kernel code."""
+
+from .adapters import KernelPanic, LinuxDuctTapeEnv
+from .cxx_runtime import CxxRuntime, OSMetaClassRegistry, OSObject
+from .linker import (
+    LINUX_KERNEL_SYMBOLS,
+    DuctTapeLinker,
+    LinkedSubsystem,
+    SymbolConflictError,
+)
+from .zones import (
+    Zone,
+    ZoneViolationError,
+    check_foreign_subsystem,
+    check_module_zone,
+    zone_of,
+)
+
+__all__ = [
+    "KernelPanic",
+    "LinuxDuctTapeEnv",
+    "CxxRuntime",
+    "OSMetaClassRegistry",
+    "OSObject",
+    "LINUX_KERNEL_SYMBOLS",
+    "DuctTapeLinker",
+    "LinkedSubsystem",
+    "SymbolConflictError",
+    "Zone",
+    "ZoneViolationError",
+    "check_foreign_subsystem",
+    "check_module_zone",
+    "zone_of",
+]

@@ -1,0 +1,123 @@
+"""Symbol zones and cross-zone reference checking.
+
+Duct tape's first step (paper §4.2) creates three coding zones inside the
+domestic kernel:
+
+* **domestic** — the Linux kernel (:mod:`repro.kernel`);
+* **foreign**  — unmodified XNU source (:mod:`repro.xnu`);
+* **duct tape** — the adaptation layer (:mod:`repro.ducttape`).
+
+Domestic code cannot reference foreign symbols and vice versa; both may
+reference the duct-tape zone, which may reference both.  The simulation
+enforces this at "compile" (link) time by walking each module's import
+statements: a foreign module importing from ``repro.kernel`` fails the
+build, exactly as a C file in the foreign zone referencing an
+unexported domestic symbol would fail to link.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from enum import Enum
+from types import ModuleType
+from typing import Dict, List, Tuple
+
+
+class Zone(Enum):
+    DOMESTIC = "domestic"
+    FOREIGN = "foreign"
+    DUCT_TAPE = "duct_tape"
+    NEUTRAL = "neutral"  # stdlib, typing — visible to everyone
+
+
+#: Module-prefix to zone assignments for this kernel tree.
+ZONE_PREFIXES: Dict[str, Zone] = {
+    "repro.kernel": Zone.DOMESTIC,
+    "repro.hw": Zone.DOMESTIC,
+    "repro.sim": Zone.DOMESTIC,
+    "repro.persona": Zone.DOMESTIC,
+    "repro.compat": Zone.DOMESTIC,
+    "repro.xnu": Zone.FOREIGN,
+    "repro.ducttape": Zone.DUCT_TAPE,
+}
+
+#: What each zone is allowed to reference.
+_ALLOWED: Dict[Zone, Tuple[Zone, ...]] = {
+    Zone.DOMESTIC: (Zone.DOMESTIC, Zone.DUCT_TAPE, Zone.NEUTRAL),
+    Zone.FOREIGN: (Zone.FOREIGN, Zone.DUCT_TAPE, Zone.NEUTRAL),
+    Zone.DUCT_TAPE: (
+        Zone.DOMESTIC,
+        Zone.FOREIGN,
+        Zone.DUCT_TAPE,
+        Zone.NEUTRAL,
+    ),
+}
+
+
+class ZoneViolationError(Exception):
+    """A module references a zone it may not see."""
+
+
+def zone_of(module_name: str) -> Zone:
+    best: Tuple[int, Zone] = (-1, Zone.NEUTRAL)
+    for prefix, zone in ZONE_PREFIXES.items():
+        if module_name == prefix or module_name.startswith(prefix + "."):
+            if len(prefix) > best[0]:
+                best = (len(prefix), zone)
+    return best[1]
+
+
+def _imported_modules(module: ModuleType) -> List[str]:
+    """Absolute names of every module imported by ``module``'s source."""
+    source = inspect.getsource(module)
+    tree = ast.parse(source)
+    package = module.__package__ or ""
+    found: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                found.append(node.module or "")
+            else:
+                # Resolve a relative import against the module's package.
+                parts = package.split(".")
+                if node.level > 1:
+                    parts = parts[: -(node.level - 1)]
+                base = ".".join(parts)
+                found.append(
+                    f"{base}.{node.module}" if node.module else base
+                )
+    return [name for name in found if name]
+
+
+def check_module_zone(module: ModuleType) -> List[str]:
+    """Verify every import in ``module`` is zone-legal.
+
+    Returns the list of imported module names (for link-time reporting);
+    raises :class:`ZoneViolationError` on the first illegal reference.
+    """
+    my_zone = zone_of(module.__name__)
+    allowed = _ALLOWED.get(my_zone, (Zone.NEUTRAL,))
+    imports = _imported_modules(module)
+    for imported in imports:
+        target_zone = zone_of(imported)
+        if target_zone not in allowed:
+            raise ZoneViolationError(
+                f"{module.__name__} ({my_zone.value} zone) references "
+                f"{imported} ({target_zone.value} zone)"
+            )
+    return imports
+
+
+def check_foreign_subsystem(modules: List[ModuleType]) -> Dict[str, List[str]]:
+    """Zone-check a whole foreign subsystem; returns the import report."""
+    report: Dict[str, List[str]] = {}
+    for module in modules:
+        if zone_of(module.__name__) is not Zone.FOREIGN:
+            raise ZoneViolationError(
+                f"{module.__name__} is not in the foreign zone"
+            )
+        report[module.__name__] = check_module_zone(module)
+    return report

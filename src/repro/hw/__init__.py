@@ -1,0 +1,34 @@
+"""Simulated mobile hardware: machines, device profiles, and peripherals."""
+
+from .accelerometer import Accelerometer, AccelSample
+from .cpu import CPU, GCC_4_4_1, XCODE_4_2_1, CompilerProfile
+from .display import CELL_H_PX, CELL_W_PX, Display, PixelBuffer
+from .gpu import GPU, Fence, GpuCommand
+from .machine import DeviceProfile, Machine
+from .profiles import ipad_mini, iphone3gs, nexus7
+from .storage import FlashStorage
+from .touchscreen import TouchEvent, TouchScreen
+
+__all__ = [
+    "Accelerometer",
+    "AccelSample",
+    "CPU",
+    "GCC_4_4_1",
+    "XCODE_4_2_1",
+    "CompilerProfile",
+    "CELL_H_PX",
+    "CELL_W_PX",
+    "Display",
+    "PixelBuffer",
+    "GPU",
+    "Fence",
+    "GpuCommand",
+    "DeviceProfile",
+    "Machine",
+    "ipad_mini",
+    "iphone3gs",
+    "nexus7",
+    "FlashStorage",
+    "TouchEvent",
+    "TouchScreen",
+]

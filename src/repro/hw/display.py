@@ -1,0 +1,111 @@
+"""Display and pixel buffers.
+
+Real framebuffers hold megabytes of pixels; the simulation represents a
+buffer as a coarse character grid onto which drawing primitives render.
+This keeps window memory, composition, and "screenshots" (ASCII dumps used
+by the examples, standing in for the paper's Figure 4) cheap but fully
+observable: tests can assert on what actually reached the panel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: One character cell covers this many device pixels.
+CELL_W_PX = 20
+CELL_H_PX = 40
+
+
+class PixelBuffer:
+    """A drawable buffer addressed in device pixels, backed by a char grid."""
+
+    def __init__(self, width_px: int, height_px: int, fill: str = " ") -> None:
+        if width_px <= 0 or height_px <= 0:
+            raise ValueError("buffer dimensions must be positive")
+        self.width_px = width_px
+        self.height_px = height_px
+        self.cols = max(1, width_px // CELL_W_PX)
+        self.rows = max(1, height_px // CELL_H_PX)
+        self._grid: List[List[str]] = [
+            [fill] * self.cols for _ in range(self.rows)
+        ]
+
+    @property
+    def size_bytes(self) -> int:
+        """Nominal size of the real buffer (RGBA8888)."""
+        return self.width_px * self.height_px * 4
+
+    def _cell(self, x_px: float, y_px: float) -> Tuple[int, int]:
+        col = min(self.cols - 1, max(0, int(x_px // CELL_W_PX)))
+        row = min(self.rows - 1, max(0, int(y_px // CELL_H_PX)))
+        return col, row
+
+    def clear(self, ch: str = " ") -> None:
+        for row in self._grid:
+            for col in range(self.cols):
+                row[col] = ch
+
+    def fill_rect(self, x: float, y: float, w: float, h: float, ch: str) -> None:
+        c0, r0 = self._cell(x, y)
+        c1, r1 = self._cell(x + max(0.0, w - 1), y + max(0.0, h - 1))
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                self._grid[row][col] = ch
+
+    def draw_text(self, x: float, y: float, text: str) -> None:
+        col, row = self._cell(x, y)
+        for offset, ch in enumerate(text):
+            if col + offset >= self.cols:
+                break
+            self._grid[row][col + offset] = ch
+
+    def blit(self, src: "PixelBuffer", x: float, y: float) -> None:
+        c0, r0 = self._cell(x, y)
+        for src_row in range(src.rows):
+            dst_row = r0 + src_row
+            if dst_row >= self.rows:
+                break
+            for src_col in range(src.cols):
+                dst_col = c0 + src_col
+                if dst_col >= self.cols:
+                    break
+                ch = src._grid[src_row][src_col]
+                if ch != " ":
+                    self._grid[dst_row][dst_col] = ch
+
+    def cell_at(self, x_px: float, y_px: float) -> str:
+        col, row = self._cell(x_px, y_px)
+        return self._grid[row][col]
+
+    def to_text(self) -> str:
+        border = "+" + "-" * self.cols + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in self._grid)
+        return f"{border}\n{body}\n{border}"
+
+    def snapshot(self) -> "PixelBuffer":
+        copy = PixelBuffer(self.width_px, self.height_px)
+        copy._grid = [list(row) for row in self._grid]
+        return copy
+
+
+class Display:
+    """The panel.  SurfaceFlinger posts composed frames here."""
+
+    def __init__(self, width_px: int, height_px: int) -> None:
+        self.width_px = width_px
+        self.height_px = height_px
+        self.frames_posted = 0
+        self._front: Optional[PixelBuffer] = None
+
+    def post(self, frame: PixelBuffer) -> None:
+        self._front = frame.snapshot()
+        self.frames_posted += 1
+
+    @property
+    def front_buffer(self) -> Optional[PixelBuffer]:
+        return self._front
+
+    def screenshot(self) -> str:
+        if self._front is None:
+            return "<display off>"
+        return self._front.to_text()

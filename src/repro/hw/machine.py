@@ -1,0 +1,119 @@
+"""The simulated machine.
+
+A :class:`Machine` bundles the simulation runtime (virtual clock,
+deterministic scheduler, trace, cost model) with a set of hardware device
+models.  Kernels are booted *on* a machine; everything the kernel and the
+simulated user space do charges time through the machine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..sim import CostModel, Scheduler, SimThread, Stopwatch, Trace, VirtualClock
+from .accelerometer import Accelerometer
+from .cpu import CPU
+from .display import Display
+from .gpu import GPU
+from .storage import FlashStorage
+from .touchscreen import TouchScreen
+
+
+class Machine:
+    """One simulated device (a Nexus 7, an iPad mini, ...)."""
+
+    def __init__(self, profile: "DeviceProfile") -> None:  # noqa: F821
+        self.profile = profile
+        self.clock = VirtualClock()
+        self.scheduler = Scheduler(self.clock)
+        self.trace = Trace()
+        self.costs: CostModel = profile.cost_model
+        self.random = random.Random(profile.seed)
+
+        self.cpu = CPU(profile.cpu_cores, profile.cpu_mhz)
+        self.gpu = GPU(self, speed_factor=profile.gpu_speed_factor)
+        self.display = Display(profile.display_width, profile.display_height)
+        self.touchscreen = TouchScreen()
+        self.accelerometer = Accelerometer()
+        self.storage = FlashStorage(profile.flash_gb)
+
+    # -- time accounting ----------------------------------------------------
+
+    def charge(self, cost_name: str, times: float = 1) -> None:
+        """Charge ``times`` occurrences of a named cost to the clock."""
+        self.clock.charge(self.costs[cost_name] * times)
+
+    def charge_ns(self, ns: float) -> None:
+        self.clock.charge(ns)
+
+    def stopwatch(self) -> Stopwatch:
+        return Stopwatch(self.clock)
+
+    @property
+    def now_ns(self) -> float:
+        return self.clock.now_ns
+
+    # -- thread helpers -------------------------------------------------------
+
+    def spawn(
+        self, body: Callable[[], object], name: str, daemon: bool = False
+    ) -> SimThread:
+        return self.scheduler.spawn(body, name=name, daemon=daemon)
+
+    def run(self) -> None:
+        """Run until all non-daemon simulated threads complete."""
+        self.scheduler.run()
+
+    def shutdown(self) -> None:
+        """Kill all simulated threads and release their OS threads."""
+        self.scheduler.shutdown()
+
+    # -- tracing ---------------------------------------------------------------
+
+    def emit(self, category: str, name: str, **detail: object) -> None:
+        self.trace.emit(self.clock.now_ns, category, name, **detail)
+
+    def __repr__(self) -> str:
+        return f"<Machine {self.profile.name!r} t={self.clock.now_ns:.0f}ns>"
+
+
+class DeviceProfile:
+    """Static description of a device: cost model plus hardware parameters."""
+
+    def __init__(
+        self,
+        name: str,
+        cost_model: CostModel,
+        cpu_cores: int,
+        cpu_mhz: int,
+        ram_mb: int,
+        flash_gb: int,
+        display_width: int,
+        display_height: int,
+        gpu_speed_factor: float = 1.0,
+        seed: int = 20140301,  # ASPLOS'14 started March 1, 2014
+        quirks: Optional[frozenset] = None,
+    ) -> None:
+        self.name = name
+        self.cost_model = cost_model
+        self.cpu_cores = cpu_cores
+        self.cpu_mhz = cpu_mhz
+        self.ram_mb = ram_mb
+        self.flash_gb = flash_gb
+        self.display_width = display_width
+        self.display_height = display_height
+        self.gpu_speed_factor = gpu_speed_factor
+        self.seed = seed
+        #: Free-form behavioural quirk tags consulted by kernels
+        #: (e.g. "xnu_select_blowup", "dyld_shared_cache").
+        self.quirks = quirks or frozenset()
+
+    def has_quirk(self, tag: str) -> bool:
+        return tag in self.quirks
+
+    def boot(self) -> Machine:
+        return Machine(self)
+
+    def __repr__(self) -> str:
+        return f"<DeviceProfile {self.name!r}>"

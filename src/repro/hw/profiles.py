@@ -1,0 +1,121 @@
+"""Calibrated device profiles.
+
+Two devices matter for the evaluation (paper §6):
+
+* **Nexus 7 (2012)** — 1.3 GHz quad-core Tegra 3, 1 GB RAM, 16 GB flash,
+  7" 1280x800.  Runs Android 4.2 vanilla or with the Cider kernel.  Its
+  cost model is the baseline; every figure normalises to it.
+* **iPad mini (1st gen)** — 1 GHz dual-core A5 (SGX543MP2 GPU), 512 MB RAM,
+  16 GB flash, 7.9" 1024x768, iOS 6.1.2.  Slower CPU, faster GPU, faster
+  flash writes, XNU kernel quirks (select blow-up), dyld shared cache.
+
+Each override cites the observation in the paper it is calibrated against.
+"""
+
+from __future__ import annotations
+
+from ..sim.costs import CostModel
+from .machine import DeviceProfile
+
+#: Basic-operation cost names scaled by raw CPU speed.
+_CPU_BOUND_COSTS = (
+    "op_int_add",
+    "op_int_mul",
+    "op_int_div",
+    "op_double_add",
+    "op_double_mul",
+    "op_branch",
+    "op_load",
+    "op_store",
+    "op_call",
+    "native_op",
+    "objc_msgsend",
+    "raster2d_solid_op",
+    "raster2d_trans_op",
+    "raster2d_complex_op",
+    "raster2d_image_op",
+    "raster2d_filter_op",
+)
+
+
+def nexus7() -> DeviceProfile:
+    """The Android device under test — the normalisation baseline."""
+    return DeviceProfile(
+        name="nexus7",
+        cost_model=CostModel(name="nexus7"),
+        cpu_cores=4,
+        cpu_mhz=1300,
+        ram_mb=1024,
+        flash_gb=16,
+        display_width=1280,
+        display_height=800,
+        gpu_speed_factor=1.0,
+    )
+
+
+def ipad_mini() -> DeviceProfile:
+    """The Apple comparison device (jailbroken, iOS 6.1.2)."""
+    base = CostModel(name="nexus7")
+    # A5 @ 1.0GHz vs Tegra 3 @ 1.3GHz: basic ops uniformly slower
+    # ("in all cases, the measurements for the iOS device were worse",
+    # Fig. 5 group 1; Cider also outperforms the iPad on PassMark CPU and
+    # memory tests "reflecting the benefit of using faster Android
+    # hardware", §6.3).
+    model = base.scaled("ipad_mini", 1.35, *_CPU_BOUND_COSTS)
+    model = model.derive(
+        "ipad_mini",
+        # Memory subsystem is slower in step with the CPU (Fig. 6 memory).
+        mem_read_per_kb=base["mem_read_per_kb"] * 1.4,
+        mem_write_per_kb=base["mem_write_per_kb"] * 1.4,
+        # XNU trap path: "running the iOS binary on the Nexus 7 using
+        # Cider is much faster in these syscall measurements than running
+        # the same binary on the iPad mini" (Fig. 5 group 2).
+        syscall_entry=base["syscall_entry"] * 1.9,
+        syscall_exit=base["syscall_exit"] * 1.9,
+        # Signal handling: the iPad takes 175% longer than Cider-iOS,
+        # which itself runs 25% over vanilla => ~3.4x the baseline.
+        signal_deliver=base["signal_deliver"] * 3.9,
+        # XNU's local IPC paths (pipes, AF_UNIX) are markedly slower than
+        # Linux's ("measurements on the iPad mini were significantly
+        # worse than the Android device in a number of cases", §6.2).
+        pipe_transfer=base["pipe_transfer"] * 3.0,
+        sock_transfer=base["sock_transfer"] * 2.5,
+        # XNU select scans cost far more per fd; the test exceeded 10x
+        # vanilla and "simply failed to complete for 250 file
+        # descriptors" (Fig. 5 group 4).
+        select_per_fd=base["select_per_fd"] * 13.0,
+        # iPad mini flash writes are much faster than the Nexus 7's
+        # ("much better storage write performance", Fig. 6 storage).
+        storage_write_per_kb=base["storage_write_per_kb"] * 0.33,
+    )
+    return DeviceProfile(
+        name="ipad_mini",
+        cost_model=model,
+        cpu_cores=2,
+        cpu_mhz=1000,
+        ram_mb=512,
+        flash_gb=16,
+        display_width=1024,
+        display_height=768,
+        # SGX543MP2 beats Tegra 3 on 3D throughput (Fig. 6 3D).
+        gpu_speed_factor=0.55,
+        quirks=frozenset({"xnu_select_blowup", "dyld_shared_cache"}),
+    )
+
+
+def iphone3gs() -> DeviceProfile:
+    """Old jailbroken device used only to decrypt App Store `.ipa`s (§6.1)."""
+    base = CostModel(name="nexus7")
+    model = base.scaled("iphone3gs", 2.4, *_CPU_BOUND_COSTS)
+    return DeviceProfile(
+        name="iphone3gs",
+        cost_model=model,
+        cpu_cores=1,
+        cpu_mhz=600,
+        ram_mb=256,
+        flash_gb=16,
+        display_width=480,
+        display_height=320,
+        gpu_speed_factor=2.5,
+        quirks=frozenset({"dyld_shared_cache"}),
+    )

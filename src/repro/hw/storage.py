@@ -1,0 +1,34 @@
+"""Flash storage model.
+
+Byte-transfer costs live in the cost model (``storage_read_per_kb`` /
+``storage_write_per_kb``); this object tracks capacity and usage
+statistics so tests and the PassMark storage workload can assert on the
+traffic that actually reached the device.
+"""
+
+from __future__ import annotations
+
+
+class FlashStorage:
+    """eMMC/NAND storage device."""
+
+    def __init__(self, capacity_gb: int) -> None:
+        self.capacity_gb = capacity_gb
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+
+    def record_read(self, nbytes: int) -> None:
+        self.bytes_read += nbytes
+        self.read_ops += 1
+
+    def record_write(self, nbytes: int) -> None:
+        self.bytes_written += nbytes
+        self.write_ops += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlashStorage {self.capacity_gb}GB r={self.bytes_read} "
+            f"w={self.bytes_written}>"
+        )

@@ -1,0 +1,66 @@
+"""CoreGraphics-lite: the iOS CPU 2D rendering path.
+
+Shares the raster engine with the Android side
+(:class:`repro.android.skia.Canvas` — both are user-space libraries, so
+no kernel zone rules apply) but carries its *own* per-primitive
+efficiency table: the paper's PassMark 2D results show Android's 2D
+libraries beating the iOS path on most primitives, with complex vector
+(path) rendering the one case where iOS wins (§6.3: "with the exception
+of complex vectors, the Android app performs much better ... most likely
+due to more efficient/optimized 2D drawing libraries in Android").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..android.skia import Canvas
+from ..hw.display import PixelBuffer
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+#: CoreGraphics per-primitive multipliers relative to the raster2d base
+#: costs (Skia is the 1.0 reference).  <1.0 means iOS is faster.
+CG_MULTIPLIERS: Dict[str, float] = {
+    "raster2d_solid_op": 1.55,
+    "raster2d_trans_op": 1.45,
+    "raster2d_complex_op": 0.55,  # CG's path renderer beats Skia's
+    "raster2d_image_op": 1.30,
+    "raster2d_filter_op": 1.55,
+}
+
+
+def CGBitmapContextCreate(
+    ctx: "UserContext", pixels: PixelBuffer
+) -> Canvas:
+    """Create a drawing context over existing pixel memory (typically an
+    IOSurface base address)."""
+    ctx.machine.charge("native_op", 60)
+    return Canvas(pixels, CG_MULTIPLIERS)
+
+
+def CGContextFillRect(ctx, canvas: Canvas, x, y, w, h, ch="#"):
+    canvas.fill_rect(ctx, x, y, w, h, ch)
+
+
+def CGContextStrokePath(ctx, canvas: Canvas, points, ch="~", units=256):
+    canvas.draw_complex_vector(ctx, points, ch, units)
+
+
+def CGContextDrawImage(ctx, canvas: Canvas, x, y, w, h):
+    canvas.draw_image(ctx, x, y, w, h)
+
+
+def CGContextShowText(ctx, canvas: Canvas, x, y, text):
+    canvas.draw_text(ctx, x, y, text)
+
+
+def coregraphics_exports() -> Dict[str, object]:
+    return {
+        "_CGBitmapContextCreate": CGBitmapContextCreate,
+        "_CGContextFillRect": CGContextFillRect,
+        "_CGContextStrokePath": CGContextStrokePath,
+        "_CGContextDrawImage": CGContextDrawImage,
+        "_CGContextShowText": CGContextShowText,
+    }

@@ -1,0 +1,183 @@
+"""dyld: the iOS user-space dynamic linker.
+
+Invoked from the kernel's Mach-O loader (paper §2), dyld resolves the
+binary's dylib dependency closure, maps every image, and registers the
+per-library callbacks whose cost dominates the paper's fork/exec numbers:
+
+* without a prelinked **shared cache** (the Cider prototype), dyld "must
+  walk the filesystem to load each library on every exec" — ~115
+  libraries / ~90 MB even for a hello-world, each paying an open + map +
+  link charge (§6.2);
+* with the shared cache (iOS on real hardware; implemented here as the
+  future-work ablation), the whole prelinked cache maps in one go, its
+  pages live in a shared submap that fork does not copy, and handler
+  registration is batched.
+
+Each loaded image registers a pthread_atfork handler set and an exit
+callback in libSystem — "resulting in the execution of 115 handlers on
+exit" (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from ..binfmt import BinaryImage
+from ..kernel.errno import ENOENT, SyscallError
+from ..kernel.vfs import RegularFile
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+#: Where iOS keeps the prelinked cache.
+SHARED_CACHE_PATH = (
+    "/System/Library/Caches/com.apple.dyld/dyld_shared_cache_armv7"
+)
+
+#: With the cache, dyld's optimised handling batches callback
+#: registration: one handler entry covers this many prelinked images.
+CACHE_HANDLER_BATCH = 8
+
+LIBSYSTEM_STATE = "libSystem"
+
+
+class SharedCache:
+    """The prelinked dyld shared cache: an index of contained images."""
+
+    def __init__(self, images: List[BinaryImage]) -> None:
+        self.images = list(images)
+        self._by_name: Dict[str, BinaryImage] = {}
+        for image in images:
+            self._by_name[image.install_name] = image
+            self._by_name[image.name] = image
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(image.vm_size_bytes for image in self.images)
+
+    def contains(self, install_name: str) -> bool:
+        return install_name in self._by_name
+
+    def get(self, install_name: str) -> BinaryImage:
+        return self._by_name[install_name]
+
+
+class DyldStats:
+    """What one program load cost (inspectable by tests/benches)."""
+
+    def __init__(self) -> None:
+        self.libraries_loaded = 0
+        self.from_cache = 0
+        self.walked_filesystem = 0
+        self.mapped_bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<DyldStats libs={self.libraries_loaded} cache={self.from_cache} "
+            f"mb={self.mapped_bytes >> 20}>"
+        )
+
+
+class Dyld:
+    """One dyld configuration shared by every Mach-O exec on a kernel."""
+
+    def __init__(self, use_shared_cache: bool = False) -> None:
+        self.use_shared_cache = use_shared_cache
+        self.last_stats: Optional[DyldStats] = None
+
+    # -- program startup ---------------------------------------------------------
+
+    def bootstrap(self, ctx: "UserContext", image: BinaryImage, argv: List[str]) -> int:
+        """Load libraries, run the entry point, flow through exit."""
+        self.last_stats = self._load_libraries(ctx, image)
+        entry = image.entry
+        result = entry(ctx, list(argv))
+        code = result if isinstance(result, int) else 0
+        exit_fn = getattr(ctx.libc, "exit", None)
+        if exit_fn is not None:
+            exit_fn(code)
+        return code
+
+    # -- library loading ------------------------------------------------------------
+
+    def _resolve_cache(self, ctx: "UserContext") -> Optional[SharedCache]:
+        if not self.use_shared_cache:
+            return None
+        try:
+            node = ctx.kernel.vfs.resolve(SHARED_CACHE_PATH)
+        except SyscallError:
+            return None
+        cache = getattr(node, "shared_cache", None)
+        return cache if isinstance(cache, SharedCache) else None
+
+    def _load_libraries(self, ctx: "UserContext", image: BinaryImage) -> DyldStats:
+        machine = ctx.machine
+        process = ctx.process
+        stats = DyldStats()
+        cache = self._resolve_cache(ctx)
+        cache_mapped = False
+
+        loaded: Set[str] = set()
+        queue: List[str] = list(image.deps)
+        state = ctx.lib_state(LIBSYSTEM_STATE)
+        atfork = state.setdefault("atfork", [])
+        atexit = state.setdefault("atexit", [])
+        cache_images = 0
+
+        while queue:
+            dep = queue.pop(0)
+            if dep in loaded:
+                continue
+            loaded.add(dep)
+
+            if cache is not None and cache.contains(dep):
+                if not cache_mapped:
+                    # Map the entire prelinked cache once, as a shared
+                    # submap fork will not copy.
+                    machine.charge("dyld_shared_cache_map")
+                    process.address_space.map(
+                        "dyld_shared_cache",
+                        cache.total_bytes,
+                        shared_cache=True,
+                    )
+                    stats.mapped_bytes += cache.total_bytes
+                    cache_mapped = True
+                lib = cache.get(dep)
+                # Prelinked: binding work is already done in the cache.
+                machine.charge("dyld_link_per_lib", 0.25)
+                stats.from_cache += 1
+                cache_images += 1
+            else:
+                lib = self._walk_filesystem(ctx, dep)
+                machine.charge("dyld_lib_map_per_mb", lib.vm_size_mb)
+                machine.charge("dyld_link_per_lib")
+                process.address_space.map(f"dylib:{lib.name}", lib.vm_size_bytes)
+                stats.mapped_bytes += lib.vm_size_bytes
+                stats.walked_filesystem += 1
+                # Every individually loaded image registers fork and exit
+                # callbacks.
+                atfork.append(f"atfork:{lib.name}")
+                atexit.append(f"atexit:{lib.name}")
+
+            stats.libraries_loaded += 1
+            process.loaded_libraries[lib.name] = lib
+            process.loaded_libraries[lib.install_name] = lib
+            queue.extend(d for d in lib.deps if d not in loaded)
+
+        # Batched handler registration for the prelinked images.
+        for batch in range(0, cache_images, CACHE_HANDLER_BATCH):
+            atfork.append(f"atfork:cache-batch-{batch}")
+            atexit.append(f"atexit:cache-batch-{batch}")
+        return stats
+
+    def _walk_filesystem(self, ctx: "UserContext", install_name: str) -> BinaryImage:
+        """Locate one dylib by path — the non-prelinked slow path."""
+        machine = ctx.machine
+        machine.charge("dyld_lib_open")
+        try:
+            node = ctx.kernel.vfs.resolve(install_name)
+        except SyscallError:
+            raise SyscallError(ENOENT, f"dyld: library not loaded: {install_name}")
+        if not isinstance(node, RegularFile) or node.binary_image is None:
+            raise SyscallError(ENOENT, f"dyld: not a dylib: {install_name}")
+        return node.binary_image

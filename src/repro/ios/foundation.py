@@ -1,0 +1,71 @@
+"""Foundation-lite: the slice of Foundation/CoreFoundation apps touch.
+
+Provides NSLog (to the system log socket via syslogd-less fallback),
+absolute time, user-defaults-style plist storage under the overlay FS
+paths iOS apps expect (/Documents, /Library/Preferences), and the
+notification bridge to notifyd.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+LIB_STATE_KEY = "Foundation"
+
+
+def NSLog(ctx: "UserContext", message: str) -> None:
+    """Format and ship a log line to syslogd (falling back to a local
+    trace event when the logger is not up yet)."""
+    ctx.machine.charge("native_op", 40 + len(message))
+    ctx.machine.emit("nslog", ctx.process.name, message=message)
+    from .services import syslog_send
+
+    syslog_send(ctx, message)
+
+
+def CFAbsoluteTimeGetCurrent(ctx: "UserContext") -> float:
+    ctx.machine.charge("native_op", 4)
+    return ctx.machine.now_ns / 1e9
+
+
+def NSHomeDirectory(ctx: "UserContext") -> str:
+    ctx.machine.charge("native_op", 8)
+    return "/var/mobile"
+
+
+def NSDocumentsDirectory(ctx: "UserContext") -> str:
+    ctx.machine.charge("native_op", 8)
+    return "/Documents"
+
+
+def NSUserDefaults_set(ctx: "UserContext", key: str, value: object) -> None:
+    """Persist a preference into Library/Preferences (overlay FS)."""
+    state = ctx.lib_state(LIB_STATE_KEY).setdefault("defaults", {})
+    state[key] = value
+    libc = ctx.libc
+    fd = libc.creat(f"/Library/Preferences/{ctx.process.name}.plist")
+    if fd != -1:
+        payload = repr(state).encode()
+        libc.write(fd, payload)
+        libc.close(fd)
+
+
+def NSUserDefaults_get(
+    ctx: "UserContext", key: str, default: object = None
+) -> object:
+    state = ctx.lib_state(LIB_STATE_KEY).setdefault("defaults", {})
+    return state.get(key, default)
+
+
+def foundation_exports() -> Dict[str, object]:
+    return {
+        "_NSLog": NSLog,
+        "_CFAbsoluteTimeGetCurrent": CFAbsoluteTimeGetCurrent,
+        "_NSHomeDirectory": NSHomeDirectory,
+        "_NSDocumentsDirectory": NSDocumentsDirectory,
+        "_NSUserDefaults_set": NSUserDefaults_set,
+        "_NSUserDefaults_get": NSUserDefaults_get,
+    }

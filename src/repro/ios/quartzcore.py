@@ -1,0 +1,79 @@
+"""QuartzCore-lite (CoreAnimation): the iOS layer tree renderer.
+
+UIKit views are backed by CALayers; QuartzCore rasterises the layer tree
+into an IOSurface using CoreGraphics and presents through OpenGL ES /
+EAGL (paper §5.3 lists WebKit, UIKit and CoreAnimation as the clients of
+the OpenGL ES and IOSurface libraries).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+    from .iosurface import IOSurface
+
+
+class CALayer:
+    """One layer: geometry, background, optional text contents."""
+
+    def __init__(
+        self,
+        x: float = 0,
+        y: float = 0,
+        width: float = 0,
+        height: float = 0,
+        background: str = " ",
+    ) -> None:
+        self.x = x
+        self.y = y
+        self.width = width
+        self.height = height
+        self.background = background
+        self.text: Optional[str] = None
+        self.hidden = False
+        self.sublayers: List["CALayer"] = []
+
+    def add_sublayer(self, layer: "CALayer") -> None:
+        self.sublayers.append(layer)
+
+    def layer_count(self) -> int:
+        return 1 + sum(child.layer_count() for child in self.sublayers)
+
+
+def CARenderLayerTree(
+    ctx: "UserContext", root: CALayer, surface: "IOSurface"
+) -> int:
+    """Rasterise ``root`` into ``surface``; returns layers rendered."""
+    from .coregraphics import (
+        CGBitmapContextCreate,
+        CGContextFillRect,
+        CGContextShowText,
+    )
+
+    canvas = CGBitmapContextCreate(ctx, surface.base_address())
+    rendered = _render(ctx, canvas, root, 0.0, 0.0)
+    return rendered
+
+
+def _render(ctx, canvas, layer: CALayer, ox: float, oy: float) -> int:
+    from .coregraphics import CGContextFillRect, CGContextShowText
+
+    if layer.hidden:
+        return 0
+    x, y = ox + layer.x, oy + layer.y
+    count = 1
+    if layer.background != " ":
+        CGContextFillRect(ctx, canvas, x, y, layer.width, layer.height, layer.background)
+    if layer.text:
+        CGContextShowText(ctx, canvas, x + 4, y + 4, layer.text)
+    for sublayer in layer.sublayers:
+        count += _render(ctx, canvas, sublayer, x, y)
+    return count
+
+
+def quartzcore_exports() -> Dict[str, object]:
+    return {
+        "_CARenderLayerTree": CARenderLayerTree,
+    }

@@ -1,0 +1,254 @@
+"""Sample iOS applications — the cast of the paper's Figure 4.
+
+Three UIKit apps in the spirit of the ones the authors demonstrate:
+
+* **Calculator Pro** — "one of the top three free utilities for iPad,
+  displaying a banner ad via the iAd framework": a keypad, a display
+  label, and an iAd banner view.
+* **Papers** — "highlighting text in a PDF": a document view with pan
+  scrolling, pinch-to-zoom, and tap-to-highlight.
+* **Stocks** — standing in for the unencrypted iOS *system* apps, and a
+  Mach IPC client: it reads device configuration from configd.
+
+Each ships as an (optionally encrypted) `.ipa` via the builders at the
+bottom, ready for the §6.1 decrypt→install→shortcut pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..binfmt import macho_executable
+from ..cider.installer import IpaPackage
+from .uikit import (
+    UIButton,
+    UILabel,
+    UIPanGestureRecognizer,
+    UIPinchGestureRecognizer,
+    UITapGestureRecognizer,
+    UIView,
+)
+
+_UIKIT_DEPS = ["/usr/lib/libSystem.B.dylib"]
+
+
+class CalculatorDelegate:
+    """Calculator Pro for iPad Free."""
+
+    def __init__(self) -> None:
+        self.display: Optional[UILabel] = None
+        self.value = ""
+        self.app = None
+
+    def did_finish_launching(self, app) -> None:
+        self.app = app
+        window = app.window
+        self.display = UILabel("0", x=20, y=20, width=window.width - 40, height=80)
+        window.add_subview(self.display)
+
+        keys = ["7", "8", "9", "/", "4", "5", "6", "*", "1", "2", "3", "-",
+                "0", "C", "=", "+"]
+        cell_w = (window.width - 40) // 4
+        for index, key in enumerate(keys):
+            col, row = index % 4, index // 4
+            window.add_subview(
+                UIButton(
+                    key,
+                    x=20 + col * cell_w,
+                    y=140 + row * 110,
+                    width=cell_w - 8,
+                    height=100,
+                    on_tap=lambda btn, k=key: self.key_pressed(k),
+                )
+            )
+        # The iAd banner (paper Fig. 4b shows it live).
+        banner = UIView(0, window.height - 70, window.width, 70, background="$")
+        banner.display_text = "iAd: Your ad here"
+        window.add_subview(banner)
+
+    def key_pressed(self, key: str) -> None:
+        if key == "C":
+            self.value = ""
+        elif key == "=":
+            try:
+                self.value = str(eval(self.value, {"__builtins__": {}}, {}))
+            except Exception:
+                self.value = "Error"
+        else:
+            self.value += key
+        if self.display is not None:
+            self.display.text = self.value or "0"
+
+
+def calculator_main(ctx, argv: List[str]) -> int:
+    ui_main = ctx.dlsym("UIKit", "_UIApplicationMain")
+    return ui_main(CalculatorDelegate())
+
+
+class PapersDelegate:
+    """Papers: a PDF reader with pan / pinch-to-zoom / highlighting."""
+
+    PAGE_LINES = [
+        "Cider: Native Execution of",
+        "iOS Apps on Android",
+        "",
+        "Abstract. We present Cider,",
+        "an operating system compat-",
+        "ibility architecture that can",
+        "run applications built for",
+        "different mobile ecosystems.",
+    ]
+
+    def __init__(self) -> None:
+        self.scroll_y = 0.0
+        self.zoom = 1.0
+        self.highlights: List[int] = []
+        self.page: Optional[UIView] = None
+        self.status: Optional[UILabel] = None
+
+    def did_finish_launching(self, app) -> None:
+        window = app.window
+        self.page = UIView(40, 60, window.width - 80, window.height - 140,
+                           background=" ")
+        window.add_subview(self.page)
+        self.status = UILabel("Papers - page 1", x=20, y=10,
+                              width=window.width - 40)
+        window.add_subview(self.status)
+        self._rebuild_page()
+
+        self.page.add_gesture_recognizer(
+            UIPanGestureRecognizer(self._panned)
+        )
+        self.page.add_gesture_recognizer(
+            UIPinchGestureRecognizer(self._pinched)
+        )
+        self.page.add_gesture_recognizer(
+            UITapGestureRecognizer(self._tapped)
+        )
+
+    def _rebuild_page(self) -> None:
+        self.page.subviews.clear()
+        line_height = int(44 * self.zoom)
+        for index, line in enumerate(self.PAGE_LINES):
+            y = 10 + index * line_height - self.scroll_y
+            if y < -line_height or y > self.page.height:
+                continue
+            label = UILabel(line, x=10, y=y, width=self.page.width - 20,
+                            height=line_height)
+            if index in self.highlights:
+                label.background = "="
+            self.page.add_subview(label)
+
+    def _panned(self, recognizer, dx: float, dy: float) -> None:
+        self.scroll_y = max(0.0, self.scroll_y - dy)
+        self._rebuild_page()
+
+    def _pinched(self, recognizer, scale: float) -> None:
+        self.zoom = max(0.5, min(3.0, scale))
+        self._rebuild_page()
+        if self.status is not None:
+            self.status.text = f"Papers - zoom {self.zoom:.1f}x"
+
+    def _tapped(self, recognizer) -> None:
+        # Highlight the next line on each tap (stand-in for text select).
+        line = len(self.highlights) % len(self.PAGE_LINES)
+        if line not in self.highlights:
+            self.highlights.append(line)
+        self._rebuild_page()
+
+
+def papers_main(ctx, argv: List[str]) -> int:
+    ui_main = ctx.dlsym("UIKit", "_UIApplicationMain")
+    return ui_main(PapersDelegate())
+
+
+class StocksDelegate:
+    """Stocks: an unencrypted system app; reads configd over Mach IPC."""
+
+    QUOTES = [("AAPL", 452.97), ("GOOG", 879.73), ("MSFT", 31.62)]
+
+    def __init__(self) -> None:
+        self.device_label: Optional[UILabel] = None
+
+    def did_finish_launching(self, app) -> None:
+        from .services import configd_get
+
+        window = app.window
+        window.add_subview(UILabel("Stocks", x=20, y=10, width=300))
+        for index, (symbol, price) in enumerate(self.QUOTES):
+            window.add_subview(
+                UILabel(
+                    f"{symbol}  {price:+.2f}",
+                    x=20,
+                    y=80 + index * 90,
+                    width=window.width - 40,
+                    height=80,
+                )
+            )
+        model = configd_get(app.ctx, "Model")
+        self.device_label = UILabel(
+            f"device: {model}", x=20, y=80 + len(self.QUOTES) * 90, width=400
+        )
+        window.add_subview(self.device_label)
+
+
+def stocks_main(ctx, argv: List[str]) -> int:
+    ui_main = ctx.dlsym("UIKit", "_UIApplicationMain")
+    return ui_main(StocksDelegate())
+
+
+# -- .ipa builders ------------------------------------------------------------------
+
+
+def calculator_ipa(encrypted: bool = True) -> IpaPackage:
+    binary = macho_executable(
+        "CalculatorPro",
+        calculator_main,
+        deps=_UIKIT_DEPS,
+        text_kb=900,
+        data_kb=180,
+        encrypted=encrypted,
+    )
+    return IpaPackage(
+        bundle_id="com.apalon.calculator",
+        display_name="Calculator",
+        icon="=",
+        binary=binary,
+        data_files={"Info.plist": b"<plist>CalculatorPro</plist>"},
+    )
+
+
+def papers_ipa(encrypted: bool = True) -> IpaPackage:
+    binary = macho_executable(
+        "Papers",
+        papers_main,
+        deps=_UIKIT_DEPS,
+        text_kb=2200,
+        data_kb=400,
+        encrypted=encrypted,
+    )
+    return IpaPackage(
+        bundle_id="com.mekentosj.papers",
+        display_name="Papers",
+        icon="P",
+        binary=binary,
+        data_files={"sample.pdf": b"%PDF-1.4 cider sample"},
+    )
+
+
+def stocks_ipa() -> IpaPackage:
+    """System apps such as Stocks ship unencrypted (paper §6.1)."""
+    binary = macho_executable(
+        "Stocks",
+        stocks_main,
+        deps=_UIKIT_DEPS,
+        text_kb=700,
+        data_kb=120,
+        encrypted=False,
+    )
+    return IpaPackage(
+        bundle_id="com.apple.stocks",
+        display_name="Stocks",
+        icon="S",
+        binary=binary,
+    )

@@ -1,0 +1,222 @@
+"""iOS background user-level services: launchd, configd, notifyd.
+
+"Background user-level services such as launchd, configd, and notifyd
+were copied from an iOS device" (paper §3) — Cider runs them unmodified
+over its kernel ABI.  launchd boots the Mach IPC service namespace
+(the bootstrap port) and spawns the other daemons with posix_spawn;
+configd serves configuration keys; notifyd is the asynchronous
+notification server.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from ..xnu.ipc import (
+    KERN_SUCCESS,
+    MACH_MSG_SUCCESS,
+    MACH_MSG_TYPE_MAKE_SEND,
+    MACH_PORT_NULL,
+    MachMessage,
+)
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+CONFIGD_SERVICE = "com.apple.SystemConfiguration.configd"
+NOTIFYD_SERVICE = "com.apple.system.notification_center"
+SYSLOGD_SERVICE = "com.apple.system.logger"
+
+
+def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
+    """PID-1 of the iOS user space: bootstrap server + service spawner."""
+    libc = ctx.libc
+    kr, bootstrap_port = libc.mach_port_allocate()
+    if kr != KERN_SUCCESS:
+        return 1
+    libc.host_set_bootstrap_port(bootstrap_port)
+    ctx.machine.emit("launchd", "bootstrap_ready")
+
+    # Start the standard Mach IPC services (paper §2: "launchd starts
+    # Mach IPC services such as configd ... notifyd").
+    if "--no-services" not in argv:
+        libc.posix_spawn("/usr/libexec/configd")
+        libc.posix_spawn("/usr/libexec/notifyd")
+        libc.posix_spawn("/usr/libexec/syslogd")
+
+    registry: Dict[str, int] = {}
+    while True:
+        code, msg = libc.mach_msg_receive(bootstrap_port)
+        if code != MACH_MSG_SUCCESS or msg is None:
+            return 0
+        body = msg.body if isinstance(msg.body, dict) else {}
+        op = body.get("op")
+        if op == "register" and msg.reply_port_name != MACH_PORT_NULL:
+            # The service's port right arrived in the header reply slot.
+            registry[body.get("name", "")] = msg.reply_port_name
+            ctx.machine.emit("launchd", "register", service=body.get("name"))
+        elif op == "lookup" and msg.reply_port_name != MACH_PORT_NULL:
+            service_port = registry.get(body.get("name", ""), MACH_PORT_NULL)
+            reply = MachMessage(msg.msg_id + 100, body={"found": bool(service_port)})
+            reply.body_right_name = service_port
+            libc.mach_msg_send(msg.reply_port_name, reply)
+
+
+def configd_main(ctx: "UserContext", argv: List[str]) -> int:
+    """The system configuration daemon: a key/value Mach service."""
+    libc = ctx.libc
+    kr, port = libc.mach_port_allocate()
+    if kr != KERN_SUCCESS:
+        return 1
+    if libc.bootstrap_register(CONFIGD_SERVICE, port) != 0:
+        return 1
+    store: Dict[str, object] = {
+        "Model": "Cider",
+        "UserAssignedName": "cider-device",
+    }
+    while True:
+        code, msg = libc.mach_msg_receive(port)
+        if code != MACH_MSG_SUCCESS or msg is None:
+            return 0
+        body = msg.body if isinstance(msg.body, dict) else {}
+        op = body.get("op")
+        if op == "set":
+            store[body.get("key", "")] = body.get("value")
+        if msg.reply_port_name != MACH_PORT_NULL:
+            value = store.get(body.get("key", "")) if op in ("get", "set") else None
+            libc.mach_msg_send(
+                msg.reply_port_name,
+                MachMessage(msg.msg_id + 100, body={"value": value}),
+            )
+
+
+def notifyd_main(ctx: "UserContext", argv: List[str]) -> int:
+    """The asynchronous notification server (notify(3))."""
+    libc = ctx.libc
+    kr, port = libc.mach_port_allocate()
+    if kr != KERN_SUCCESS:
+        return 1
+    if libc.bootstrap_register(NOTIFYD_SERVICE, port) != 0:
+        return 1
+    registrations: Dict[str, List[int]] = {}
+    while True:
+        code, msg = libc.mach_msg_receive(port)
+        if code != MACH_MSG_SUCCESS or msg is None:
+            return 0
+        body = msg.body if isinstance(msg.body, dict) else {}
+        op = body.get("op")
+        name = body.get("name", "")
+        if op == "register" and msg.reply_port_name != MACH_PORT_NULL:
+            registrations.setdefault(name, []).append(msg.reply_port_name)
+        elif op == "post":
+            for client_port in registrations.get(name, []):
+                libc.mach_msg_send(
+                    client_port,
+                    MachMessage(0x2001, body={"notification": name}),
+                )
+            if msg.reply_port_name != MACH_PORT_NULL:
+                libc.mach_msg_send(
+                    msg.reply_port_name,
+                    MachMessage(
+                        msg.msg_id + 100,
+                        body={"delivered": len(registrations.get(name, []))},
+                    ),
+                )
+
+
+def syslogd_main(ctx: "UserContext", argv: List[str]) -> int:
+    """The system log daemon: collects asl messages into /var/log."""
+    libc = ctx.libc
+    kr, port = libc.mach_port_allocate()
+    if kr != KERN_SUCCESS:
+        return 1
+    if libc.bootstrap_register(SYSLOGD_SERVICE, port) != 0:
+        return 1
+    log_fd = libc.creat("/var/log/asl.log")
+    lines = 0
+    while True:
+        code, msg = libc.mach_msg_receive(port)
+        if code != MACH_MSG_SUCCESS or msg is None:
+            return 0
+        body = msg.body if isinstance(msg.body, dict) else {}
+        sender = body.get("sender", "?")
+        text = body.get("message", "")
+        libc.write(log_fd, f"<{sender}> {text}\n".encode())
+        lines += 1
+        if msg.reply_port_name != MACH_PORT_NULL:
+            libc.mach_msg_send(
+                msg.reply_port_name,
+                MachMessage(msg.msg_id + 100, body={"logged": lines}),
+            )
+
+
+def syslog_send(ctx: "UserContext", message: str) -> int:
+    """asl client: ship one log line to syslogd (what NSLog does)."""
+    libc = ctx.libc
+    service = libc.bootstrap_look_up(SYSLOGD_SERVICE)
+    if service == MACH_PORT_NULL:
+        return -1
+    code = libc.mach_msg_send(
+        service,
+        MachMessage(
+            0x3005,
+            body={"sender": ctx.process.name, "message": message},
+        ),
+    )
+    return 0 if code == MACH_MSG_SUCCESS else -1
+
+
+# -- client helpers (what libnotify / SCDynamicStore wrappers do) ------------------
+
+
+def configd_get(ctx: "UserContext", key: str) -> object:
+    libc = ctx.libc
+    port = libc.bootstrap_look_up(CONFIGD_SERVICE)
+    if port == MACH_PORT_NULL:
+        return None
+    code, reply = libc.mach_msg_rpc(
+        port, MachMessage(0x3001, body={"op": "get", "key": key})
+    )
+    if code != MACH_MSG_SUCCESS or reply is None:
+        return None
+    return reply.body.get("value") if isinstance(reply.body, dict) else None
+
+
+def configd_set(ctx: "UserContext", key: str, value: object) -> object:
+    libc = ctx.libc
+    port = libc.bootstrap_look_up(CONFIGD_SERVICE)
+    if port == MACH_PORT_NULL:
+        return None
+    code, reply = libc.mach_msg_rpc(
+        port, MachMessage(0x3002, body={"op": "set", "key": key, "value": value})
+    )
+    return reply.body.get("value") if reply and isinstance(reply.body, dict) else None
+
+
+def notify_register(ctx: "UserContext", name: str) -> int:
+    """Register interest; returns the port to receive notifications on."""
+    libc = ctx.libc
+    service = libc.bootstrap_look_up(NOTIFYD_SERVICE)
+    if service == MACH_PORT_NULL:
+        return MACH_PORT_NULL
+    kr, my_port = libc.mach_port_allocate()
+    msg = MachMessage(
+        0x3003,
+        body={"op": "register", "name": name},
+        reply_disposition=MACH_MSG_TYPE_MAKE_SEND,
+    )
+    libc.mach_msg_send(service, msg, my_port)
+    return my_port
+
+
+def notify_post(ctx: "UserContext", name: str) -> int:
+    libc = ctx.libc
+    service = libc.bootstrap_look_up(NOTIFYD_SERVICE)
+    if service == MACH_PORT_NULL:
+        return -1
+    code, reply = libc.mach_msg_rpc(
+        service, MachMessage(0x3004, body={"op": "post", "name": name})
+    )
+    if code != MACH_MSG_SUCCESS or reply is None:
+        return -1
+    return reply.body.get("delivered", 0) if isinstance(reply.body, dict) else 0

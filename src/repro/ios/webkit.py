@@ -1,0 +1,131 @@
+"""WebKit-lite: the iOS web engine, with the prototype's limitation.
+
+Paper §6.4: "the iOS WebKit framework is only partially supported due to
+its multi-threaded use of the OpenGL ES API.  We expect these limitations
+to be removed with additional engineering effort."
+
+WebKit composites page tiles on worker threads, each issuing OpenGL ES
+calls against a shared context.  The Cider replacement GL library routes
+every call through diplomats into Android's libGLESv2, whose context
+state is managed per-process in this prototype — concurrent tile threads
+would corrupt the current-context binding.  WebKit therefore detects a
+Cider GL stack and falls back to single-threaded tile rendering
+(functional, slower: "partially supported"), while on Apple hardware the
+threaded path runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+TILE_ROWS = 4
+TILE_COLS = 4
+LIB_STATE_KEY = "WebKit"
+
+
+class WebPage:
+    """A parsed page: a list of text lines (the simulation's DOM)."""
+
+    def __init__(self, html: str) -> None:
+        self.lines: List[str] = []
+        for raw in html.splitlines():
+            text = raw.strip()
+            for tag in ("<p>", "</p>", "<h1>", "</h1>", "<body>", "</body>"):
+                text = text.replace(tag, "")
+            if text:
+                self.lines.append(text)
+
+
+class WKWebViewLite:
+    """A web view: parse, lay out, rasterise tiles, composite via GL."""
+
+    def __init__(self, ctx: "UserContext", width: int = 800, height: int = 600):
+        self.ctx = ctx
+        self.width = width
+        self.height = height
+        self.page: WebPage = WebPage("")
+        self.tile_threads_used = 0
+        self.single_thread_fallback = False
+
+    # -- loading ------------------------------------------------------------
+
+    def load_html(self, html: str) -> WebPage:
+        self.ctx.machine.charge("native_op", 50 * max(1, len(html) // 64))
+        self.page = WebPage(html)
+        return self.page
+
+    # -- rendering -------------------------------------------------------------
+
+    def _gl_is_diplomatic(self) -> bool:
+        gles = self.ctx.process.loaded_libraries.get("OpenGLES")
+        if gles is None:
+            return False
+        symbol = gles.exports.get("_glClear")
+        from ..diplomacy.diplomat import Diplomat
+
+        return symbol is not None and isinstance(symbol.fn, Diplomat)
+
+    def _raster_tile(self, tctx: "UserContext", tile_index: int) -> int:
+        """CPU-rasterise one tile, then upload it through GL."""
+        from ..android import gles as agl
+
+        tctx.machine.charge("raster2d_image_op", 64)
+        upload = tctx.dlsym("OpenGLES", "_glTexImage2D")
+        upload(0x0DE1, 0, self.width // TILE_COLS, self.height // TILE_ROWS)
+        return tile_index
+
+    def render(self) -> Dict[str, object]:
+        """Rasterise all tiles and composite one frame."""
+        ctx = self.ctx
+        eagl = ctx.dlsym("OpenGLES", "_EAGLContextCreate")()
+        ctx.dlsym("OpenGLES", "_EAGLContextSetCurrent")(eagl)
+        tiles = TILE_ROWS * TILE_COLS
+
+        if self._gl_is_diplomatic():
+            # Cider: multi-threaded GL is unsupported — single-thread
+            # fallback (the "partially supported" behaviour).
+            self.single_thread_fallback = True
+            for index in range(tiles):
+                self._raster_tile(ctx, index)
+        else:
+            # Apple hardware: tile workers issue GL concurrently.
+            self.single_thread_fallback = False
+            done = []
+            workers = 4
+            per_worker = tiles // workers
+
+            def worker(first):
+                def run(tctx):
+                    tctx.dlsym("OpenGLES", "_EAGLContextSetCurrent")(eagl)
+                    for index in range(first, first + per_worker):
+                        done.append(self._raster_tile(tctx, index))
+                    return 0
+
+                return run
+
+            for w in range(workers):
+                ctx.libc.pthread_create(worker(w * per_worker))
+                self.tile_threads_used += 1
+            while len(done) < tiles:
+                ctx.libc.sched_yield()
+
+        ctx.dlsym("OpenGLES", "_glClear")(0x4000)
+        ctx.dlsym("OpenGLES", "_glDrawArrays")(4, 0, tiles * 6)
+        return {
+            "tiles": tiles,
+            "threads": self.tile_threads_used,
+            "fallback": self.single_thread_fallback,
+            "lines": len(self.page.lines),
+        }
+
+
+def WKWebViewCreate(ctx: "UserContext", width: int = 800, height: int = 600):
+    ctx.machine.charge("native_op", 400)
+    return WKWebViewLite(ctx, width, height)
+
+
+def webkit_exports() -> Dict[str, object]:
+    return {"_WKWebViewCreate": WKWebViewCreate}

@@ -1,0 +1,160 @@
+"""The Linux device-driver framework.
+
+Drivers register devices through :meth:`DeviceManager.device_add`, which
+creates the ``/dev`` node — and, crucially for Cider, fires the
+*device-add hook*: the small hook the paper describes (§5.1) that lets the
+duct-taped I/O Kit create a registry entry (device-class instance) for
+every registered Linux device, so iOS user space can discover Android
+hardware through the I/O Kit registry.
+
+Includes the standard character devices (`/dev/zero`, `/dev/null`) used by
+lmbench, and evdev-style input devices fed by the hardware models.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+from ..sim import WaitQueue
+from .errno import EAGAIN, SyscallError
+from .files import DeviceHandle
+
+if TYPE_CHECKING:
+    from ..hw.machine import Machine
+
+
+class Device:
+    """A registered device: a name, a driver, and a /dev node."""
+
+    def __init__(self, name: str, driver: object, dev_class: str) -> None:
+        self.name = name
+        self.driver = driver
+        self.dev_class = dev_class  # "mem", "input", "graphics", ...
+
+    def __repr__(self) -> str:
+        return f"<Device {self.name!r} class={self.dev_class!r}>"
+
+
+class DeviceManager:
+    """Kernel-side device registry."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+        self._devices: Dict[str, Device] = {}
+        #: Cider's hook point: called for every device_add so duct-taped
+        #: I/O Kit can mirror Linux devices into its registry.
+        self.device_add_hooks: List[Callable[[Device], None]] = []
+
+    def device_add(
+        self, name: str, driver: object, dev_class: str = "misc"
+    ) -> Device:
+        device = Device(name, driver, dev_class)
+        self._devices[name] = device
+        for hook in self.device_add_hooks:
+            hook(device)
+        return device
+
+    def get(self, name: str) -> Optional[Device]:
+        return self._devices.get(name)
+
+    def all_devices(self) -> List[Device]:
+        return list(self._devices.values())
+
+
+class ZeroDriver:
+    """/dev/zero."""
+
+    def read(self, handle: DeviceHandle, nbytes: int) -> bytes:
+        handle.machine.charge("read_base")
+        return b"\x00" * nbytes
+
+    def write(self, handle: DeviceHandle, data: bytes) -> int:
+        handle.machine.charge("write_base")
+        return len(data)
+
+
+class NullDriver:
+    """/dev/null."""
+
+    def read(self, handle: DeviceHandle, nbytes: int) -> bytes:
+        handle.machine.charge("read_base")
+        return b""
+
+    def write(self, handle: DeviceHandle, data: bytes) -> int:
+        handle.machine.charge("write_base")
+        return len(data)
+
+
+class EvdevDriver:
+    """An evdev-style input event device.
+
+    The kernel-side driver is attached to a hardware event source
+    (touch panel, accelerometer); each hardware event lands in a FIFO
+    that user space drains by reading the /dev/input node.  Reads return
+    *event objects* (the simulation's stand-in for input_event structs).
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+        self._queue: Deque[object] = deque()
+        self.event_waitq = WaitQueue("evdev")
+
+    # hardware side ---------------------------------------------------------
+    def push_event(self, event: object) -> None:
+        self._queue.append(event)
+        self.event_waitq.wake_all()
+
+    # user side --------------------------------------------------------------
+    def poll_readable(self, handle: DeviceHandle) -> bool:
+        return bool(self._queue)
+
+    def read_event(self, handle: DeviceHandle) -> object:
+        """Blocking read of one event object."""
+        sched = self._machine.scheduler
+        while not self._queue:
+            if handle.flags & 0o4000:
+                raise SyscallError(EAGAIN, "no input events")
+            self._machine.kernel.wait_interruptible(self.event_waitq)
+        self._machine.charge("input_event_read")
+        return self._queue.popleft()
+
+    def read(self, handle: DeviceHandle, nbytes: int) -> bytes:
+        raise SyscallError(EAGAIN, "use read_event on evdev nodes")
+
+    def write(self, handle: DeviceHandle, data: bytes) -> int:
+        raise SyscallError(EAGAIN, "evdev is read-only")
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class FramebufferDriver:
+    """The Linux display driver (tegra_fb on the Nexus 7).
+
+    The Cider prototype wraps this driver with an ``AppleM2CLCD`` I/O Kit
+    class (§5.1); the wrapper lives in :mod:`repro.xnu.iokit_drivers`.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+        self.display = machine.display
+
+    def blank(self, on: bool) -> None:
+        self._machine.charge("iokit_method_dispatch")
+
+    @property
+    def width(self) -> int:
+        return self.display.width_px
+
+    @property
+    def height(self) -> int:
+        return self.display.height_px
+
+    def read(self, handle: DeviceHandle, nbytes: int) -> bytes:
+        return b""
+
+    def write(self, handle: DeviceHandle, data: bytes) -> int:
+        return len(data)

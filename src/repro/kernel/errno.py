@@ -1,0 +1,65 @@
+"""Errno values and the kernel-internal error convention.
+
+Handlers raise :class:`SyscallError`; each kernel ABI converts that into
+its user-visible convention — Linux returns ``-errno``, XNU sets the carry
+flag and returns the positive errno (paper §4.1: "many XNU syscalls return
+an error indication through CPU flags where Linux would return a negative
+integer").
+
+The values below are shared by Linux and XNU for every code the simulation
+uses (both descend from the same historical Unix numbering).
+"""
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EINTR = 4
+EIO = 5
+ENXIO = 6
+E2BIG = 7
+ENOEXEC = 8
+EBADF = 9
+ECHILD = 10
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+EBUSY = 16
+EEXIST = 17
+ENODEV = 19
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOTTY = 25
+EFBIG = 27
+ENOSPC = 28
+ESPIPE = 29
+EROFS = 30
+EPIPE = 32
+ERANGE = 34
+ENOSYS = 38
+ENOTEMPTY = 39
+ENOTSOCK = 88
+EOPNOTSUPP = 95
+EADDRINUSE = 98
+ECONNREFUSED = 111
+
+_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.startswith("E") and isinstance(value, int)
+}
+
+
+def errno_name(errno: int) -> str:
+    return _NAMES.get(errno, f"E?{errno}")
+
+
+class SyscallError(Exception):
+    """Raised by syscall handlers; converted by the ABI boundary."""
+
+    def __init__(self, errno: int, message: str = "") -> None:
+        super().__init__(f"{errno_name(errno)}: {message}" if message else errno_name(errno))
+        self.errno = errno

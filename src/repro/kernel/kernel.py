@@ -1,0 +1,316 @@
+"""The kernel object: trap path, boot, signals, and subsystem wiring.
+
+One :class:`Kernel` is booted per :class:`~repro.hw.machine.Machine`.  The
+core is personality-agnostic (paper takeaway: the ABI *is* the interface):
+
+* A **vanilla Android** kernel registers only the Linux ABI/persona and
+  the ELF loader.
+* A **Cider** kernel additionally registers the iOS persona (XNU ABI +
+  iOS TLS layout), the Mach-O loader, duct-taped subsystems (Mach IPC,
+  psynch, I/O Kit), the signal translator, and the ``set_persona``
+  syscall — and pays ``cider_persona_check`` on every syscall entry.
+* The **XNU-native** kernel (the iPad mini configuration) registers only
+  the iOS persona with untranslated XNU tables and the device's quirks.
+
+That wiring lives in :mod:`repro.cider.system`; this module provides the
+mechanisms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..persona import Persona, PersonaRegistry, UnknownPersonaError
+from ..sim import WaitQueue
+from .devices import DeviceManager, EvdevDriver, FramebufferDriver, NullDriver, ZeroDriver
+from .errno import EINVAL, ENOSYS, SyscallError
+from .files import (
+    DeviceHandle,
+    DirectoryHandle,
+    O_CREAT,
+    O_EXCL,
+    RegularHandle,
+)
+from .loader import BinfmtHandler, LoaderChain, StartRoutine
+from .process import KThread, Process, ProcessExited, ProcessManager, UserContext
+from .signals import (
+    SIG_DFL,
+    SIG_IGN,
+    SIGKILL,
+    SigAction,
+    SigInfo,
+    default_is_fatal,
+    default_is_ignored,
+)
+from .vfs import VFS, DeviceNode, Directory, RegularFile
+
+if TYPE_CHECKING:
+    from ..binfmt import BinaryImage
+    from ..hw.machine import Machine
+
+
+class Kernel:
+    """A booted kernel on a machine."""
+
+    def __init__(self, machine: "Machine", name: str = "linux") -> None:
+        self.machine = machine
+        machine.kernel = self  # type: ignore[attr-defined]
+        self.name = name
+        self.vfs = VFS(machine)
+        self.devices = DeviceManager(machine)
+        self.processes = ProcessManager(self)
+        self.personas = PersonaRegistry()
+        self.loaders = LoaderChain()
+        #: True on Cider kernels: persona checking runs on every syscall
+        #: entry (the +8.5% null-syscall overhead, paper §6.2).
+        self.cider_enabled = False
+        #: Duct-taped subsystems attach themselves here.
+        self.mach_subsystem: Optional[object] = None
+        self.psynch_subsystem: Optional[object] = None
+        self.iokit: Optional[object] = None
+        #: Installed by repro.compat.signals on Cider/XNU kernels.
+        self.signal_translator: Optional[object] = None
+        self.booted = False
+
+    # -- boot -----------------------------------------------------------------
+
+    def boot(self) -> "Kernel":
+        """Mount the root filesystem and register core devices."""
+        vfs = self.vfs
+        for path in ("/dev", "/dev/input", "/tmp", "/proc", "/data"):
+            vfs.makedirs(path)
+        self.add_device("zero", ZeroDriver(), "mem")
+        self.add_device("null", NullDriver(), "mem")
+        fb = FramebufferDriver(self.machine)
+        self.add_device("graphics/fb0", fb, "graphics")
+
+        touch_evdev = EvdevDriver(self.machine)
+        self.machine.touchscreen.attach_driver(touch_evdev.push_event)
+        self.add_device("input/event0", touch_evdev, "input")
+
+        accel_evdev = EvdevDriver(self.machine)
+        self.machine.accelerometer.attach_driver(accel_evdev.push_event)
+        self.add_device("input/event1", accel_evdev, "input")
+
+        self.booted = True
+        return self
+
+    def add_device(self, name: str, driver: object, dev_class: str = "misc"):
+        """Linux ``device_add``: register + /dev node + Cider hooks."""
+        parts = name.split("/")
+        if len(parts) > 1:
+            self.vfs.makedirs("/dev/" + "/".join(parts[:-1]))
+        node = self.vfs.add_device(f"/dev/{name}", driver)
+        device = self.devices.device_add(name, driver, dev_class)
+        return device
+
+    def register_persona(self, persona: Persona, default: bool = False) -> Persona:
+        return self.personas.register(persona, default)
+
+    def register_loader(self, handler: BinfmtHandler) -> None:
+        self.loaders.register(handler)
+
+    # -- the trap path -------------------------------------------------------------
+
+    def trap(self, thread: KThread, trapno: int, args: tuple) -> object:
+        """Syscall entry: the hot path every simulated syscall takes."""
+        machine = self.machine
+        machine.charge("syscall_entry")
+        if self.cider_enabled:
+            # Extra persona checking and handling code on every entry.
+            machine.charge("cider_persona_check")
+        abi = thread.persona.abi
+        machine.trace.emit(machine.clock.now_ns, "syscall", abi.name, nr=trapno)
+        try:
+            value = abi.dispatch(self, thread, trapno, args)
+            result = abi.success(value)
+        except SyscallError as error:
+            result = abi.failure(error.errno)
+        machine.charge("syscall_exit")
+        self.deliver_pending_signals(thread)
+        self._check_dying(thread)
+        return result
+
+    def _check_dying(self, thread: KThread) -> None:
+        process = thread.process
+        if process.dying is not None:
+            raise ProcessExited(128 + process.dying)
+        if not process.alive:
+            raise ProcessExited(process.exit_code or 0)
+
+    # -- blocking with signal/death checks ----------------------------------------
+
+    def wait_interruptible(self, waitq: WaitQueue) -> None:
+        """Block on ``waitq``; on wake, deliver signals / honour death."""
+        self.machine.scheduler.block_on(waitq)
+        thread = self.current_kthread_or_none()
+        if thread is not None:
+            self.check_interrupted(thread)
+
+    def check_interrupted(self, thread: KThread) -> None:
+        self.deliver_pending_signals(thread)
+        self._check_dying(thread)
+
+    def current_kthread_or_none(self) -> Optional[KThread]:
+        scheduler = self.machine.scheduler
+        if not scheduler.in_sim_thread():
+            return None
+        return getattr(scheduler.current_thread(), "kthread", None)
+
+    # -- persona switching ------------------------------------------------------------
+
+    def do_set_persona(self, thread: KThread, persona_name: str) -> int:
+        """The set_persona syscall body (available from all personas)."""
+        if not self.cider_enabled:
+            raise SyscallError(ENOSYS, "set_persona on non-Cider kernel")
+        try:
+            persona = self.personas.get(persona_name)
+        except UnknownPersonaError:
+            raise SyscallError(EINVAL, persona_name) from None
+        self.machine.charge("set_persona")
+        previous = thread.persona
+        thread.persona = persona
+        thread.tls(persona)  # materialise the TLS area pointer swap
+        self.machine.emit(
+            "persona", "switch", frm=previous.name, to=persona.name
+        )
+        return 0
+
+    # -- signals -----------------------------------------------------------------------
+
+    def send_signal_to_process(
+        self, process: Process, signum: int, sender_pid: int = 0
+    ) -> None:
+        """Generate a (Linux-numbered) signal for ``process``."""
+        if not process.alive:
+            return
+        if self.cider_enabled:
+            # Determining the persona of the target thread (paper: +3%
+            # on the signal benchmark even for Linux binaries).
+            self.machine.charge("signal_persona_lookup")
+        action = process.signals.action_for(signum)
+        handler = action.handler
+        if signum == SIGKILL:
+            handler = SIG_DFL
+        if handler == SIG_IGN:
+            return
+        if handler == SIG_DFL:
+            if default_is_ignored(signum):
+                return
+            if default_is_fatal(signum):
+                self._fatal_signal(process, signum)
+            return
+        info = SigInfo(signum, sender_pid)
+        target = process.main_thread()
+        current = self.current_kthread_or_none()
+        if current is target:
+            self._deliver_one(target, info, action)
+        else:
+            target.pending.push(info)
+            if target.sim_thread is not None:
+                # Kick the target out of interruptible sleeps.
+                sim = target.sim_thread
+                if sim.wait_channel is not None:
+                    sim.wait_channel._discard(sim)
+                self.machine.scheduler._make_ready(sim)
+
+    def _fatal_signal(self, process: Process, signum: int) -> None:
+        current = self.current_kthread_or_none()
+        if current is not None and current.process is process:
+            process.dying = signum
+            self.processes.do_exit(current, 128 + signum)
+        else:
+            process.dying = signum
+            self.processes.finalize_process(process, 128 + signum)
+
+    def deliver_pending_signals(self, thread: KThread) -> None:
+        while thread.pending:
+            info = thread.pending.pop()
+            action = thread.process.signals.action_for(info.signum)
+            if callable(action.handler):
+                self._deliver_one(thread, info, action)
+
+    def _deliver_one(
+        self, thread: KThread, info: SigInfo, action: SigAction
+    ) -> None:
+        """Push a signal frame and run the user handler."""
+        machine = self.machine
+        machine.charge("signal_deliver")
+        signum_user = info.signum
+        if self.signal_translator is not None:
+            signum_user = self.signal_translator.prepare_delivery(
+                self, thread, info
+            )
+        machine.emit(
+            "signal", "deliver", signum=info.signum, persona=thread.persona.name
+        )
+        ctx = UserContext(self, thread)
+        action.handler(ctx, signum_user, info)
+
+    # -- file opening ------------------------------------------------------------------
+
+    def open_path(self, process: Process, path: str, flags: int = 0) -> int:
+        """open(2) body shared by every ABI."""
+        machine = self.machine
+        machine.charge("open_base")
+        vfs = self.vfs
+        try:
+            node = vfs.resolve(path, process.cwd)
+            if flags & O_CREAT and flags & O_EXCL:
+                from .errno import EEXIST
+
+                raise SyscallError(EEXIST, f"O_EXCL: {path} exists")
+        except SyscallError as error:
+            if not flags & O_CREAT:
+                raise
+            node = vfs.create_file(path, cwd=process.cwd)
+        if isinstance(node, Directory):
+            handle = DirectoryHandle(machine, node)
+        elif isinstance(node, DeviceNode):
+            handle = DeviceHandle(machine, node.driver, flags)
+        elif isinstance(node, RegularFile):
+            handle = RegularHandle(machine, node, flags)
+        else:
+            raise SyscallError(EINVAL, f"unopenable node {node.kind}")
+        return process.fd_table.install(handle)
+
+    # -- exec ---------------------------------------------------------------------------
+
+    def exec_image(
+        self,
+        process: Process,
+        thread: KThread,
+        file: RegularFile,
+        argv: List[str],
+    ) -> StartRoutine:
+        """Probe binfmt handlers and load the image."""
+        image = file.binary_image
+        if image is None:
+            raise SyscallError(ENOSYS, "not a binary")
+        handler = self.loaders.find(image)
+        for seg_handler in ():  # placeholder for future LSM-style hooks
+            pass
+        return handler.load(self, process, thread, image, argv)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def start_process(
+        self,
+        path: str,
+        argv: Optional[List[str]] = None,
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> Process:
+        return self.processes.start_process(path, argv, name, daemon=daemon)
+
+    def spawn_kernel_daemon(
+        self, body: Callable[[], object], name: str
+    ) -> object:
+        """A kernel-level service thread (no process context)."""
+        return self.machine.spawn(body, name=f"k:{name}", daemon=True)
+
+    def run(self) -> None:
+        self.machine.run()
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name!r} cider={self.cider_enabled}>"

@@ -1,0 +1,166 @@
+"""The binfmt handler chain and the ELF loader.
+
+A kernel probes the first bytes of an executable against its registered
+:class:`BinfmtHandler` list — exactly the mechanism Cider hooks: the
+vanilla Android kernel only knows ELF and rejects Mach-O with ENOEXEC,
+while a Cider kernel registers the Mach-O handler
+(:mod:`repro.compat.macho_loader`) alongside it.
+
+A handler's ``load`` maps the image and returns the *start routine* (the
+crt0 equivalent): a callable that runs the program's entry point under a
+fresh user context and funnels its return value through the C library's
+exit path (so atexit handlers run).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from ..binfmt import BinaryFormat, BinaryImage
+from .errno import ENOENT, ENOEXEC, SyscallError
+from .vfs import RegularFile
+
+if TYPE_CHECKING:
+    from .kernel import Kernel
+    from .process import KThread, Process, UserContext
+
+StartRoutine = Callable[["UserContext"], int]
+LibcFactory = Callable[["UserContext"], object]
+
+
+class BinfmtHandler:
+    """One registered binary-format loader."""
+
+    format: BinaryFormat
+
+    def matches(self, image: BinaryImage) -> bool:
+        raise NotImplementedError
+
+    def load(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        thread: "KThread",
+        image: BinaryImage,
+        argv: List[str],
+    ) -> StartRoutine:
+        raise NotImplementedError
+
+
+class LibrarySearchPath:
+    """Resolves dependency names against VFS directories."""
+
+    def __init__(self, kernel: "Kernel", directories: List[str]) -> None:
+        self._kernel = kernel
+        self.directories = list(directories)
+
+    def find(self, dep_name: str) -> BinaryImage:
+        vfs = self._kernel.vfs
+        candidates = (
+            [dep_name]
+            if dep_name.startswith("/")
+            else [f"{d}/{dep_name}" for d in self.directories]
+        )
+        for path in candidates:
+            try:
+                node = vfs.resolve(path)
+            except SyscallError:
+                continue
+            if isinstance(node, RegularFile) and node.binary_image is not None:
+                return node.binary_image
+        raise SyscallError(ENOENT, f"library {dep_name!r} not found")
+
+
+class ElfLoader(BinfmtHandler):
+    """The Linux kernel's ELF loader plus the Android in-process linker."""
+
+    format = BinaryFormat.ELF
+
+    def __init__(
+        self,
+        libc_factory: LibcFactory,
+        search_dirs: Optional[List[str]] = None,
+    ) -> None:
+        self._libc_factory = libc_factory
+        self._search_dirs = search_dirs or ["/system/lib", "/vendor/lib"]
+
+    def matches(self, image: BinaryImage) -> bool:
+        return image.format is BinaryFormat.ELF
+
+    def load(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        thread: "KThread",
+        image: BinaryImage,
+        argv: List[str],
+    ) -> StartRoutine:
+        machine = kernel.machine
+        machine.charge("elf_load_base")
+        machine.charge("elf_load_per_mb", image.vm_size_mb)
+        for seg in image.segments:
+            process.address_space.map(
+                f"{image.name}:{seg.name}", seg.size_bytes, seg.writable
+            )
+        process.binary = image
+        process.libc_factory = self._libc_factory
+
+        search = LibrarySearchPath(kernel, self._search_dirs)
+        self._link_closure(kernel, process, image, search)
+
+        entry = image.entry
+
+        def start(ctx: "UserContext") -> int:
+            result = entry(ctx, list(argv))
+            code = result if isinstance(result, int) else 0
+            # crt0 epilogue: flow through libc exit (atexit handlers).
+            exit_fn = getattr(ctx.libc, "exit", None)
+            if exit_fn is not None:
+                exit_fn(code)
+            return code
+
+        return start
+
+    def _link_closure(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        root: BinaryImage,
+        search: LibrarySearchPath,
+    ) -> None:
+        """Map the transitive dependency closure (breadth-first)."""
+        loaded: Set[str] = set()
+        queue = list(root.deps)
+        while queue:
+            dep = queue.pop(0)
+            if dep in loaded:
+                continue
+            loaded.add(dep)
+            lib = search.find(dep)
+            kernel.machine.charge("linker_lib_load")
+            process.address_space.map(f"lib:{lib.name}", lib.vm_size_bytes)
+            process.loaded_libraries[lib.name] = lib
+            if lib.install_name != lib.name:
+                process.loaded_libraries[lib.install_name] = lib
+            queue.extend(d for d in lib.deps if d not in loaded)
+
+
+class LoaderChain:
+    """The kernel's ordered list of binfmt handlers."""
+
+    def __init__(self) -> None:
+        self._handlers: List[BinfmtHandler] = []
+
+    def register(self, handler: BinfmtHandler) -> None:
+        self._handlers.append(handler)
+
+    def formats(self) -> List[BinaryFormat]:
+        return [handler.format for handler in self._handlers]
+
+    def find(self, image: BinaryImage) -> BinfmtHandler:
+        for handler in self._handlers:
+            if handler.matches(image):
+                return handler
+        raise SyscallError(
+            ENOEXEC, f"no binfmt handler for {image.format.value} binary"
+        )

@@ -1,0 +1,106 @@
+"""Pipes: the substrate for lmbench's lat_pipe and the shell's plumbing."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errno import EAGAIN, EPIPE, SyscallError
+from .files import O_RDONLY, O_WRONLY, OpenFile
+from .signals import SIGPIPE
+
+if TYPE_CHECKING:
+    from ..hw.machine import Machine
+    from .kernel import Kernel
+
+PIPE_CAPACITY = 65536
+
+
+class _PipeCore:
+    """Shared state between the two ends."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.buffer = bytearray()
+        self.reader_open = True
+        self.writer_open = True
+
+
+class PipeReader(OpenFile):
+    def __init__(self, machine: "Machine", core: _PipeCore) -> None:
+        super().__init__(machine, O_RDONLY)
+        self.core = core
+
+    def poll_readable(self) -> bool:
+        return bool(self.core.buffer) or not self.core.writer_open
+
+    def poll_writable(self) -> bool:
+        return False
+
+    def read(self, nbytes: int) -> bytes:
+        sched = self.machine.scheduler
+        while not self.core.buffer:
+            if not self.core.writer_open:
+                return b""  # EOF
+            if self.flags & 0o4000:  # O_NONBLOCK
+                raise SyscallError(EAGAIN, "pipe empty")
+            self.machine.kernel.wait_interruptible(self.read_waitq)
+        self.machine.charge("pipe_transfer")
+        data = bytes(self.core.buffer[:nbytes])
+        del self.core.buffer[: len(data)]
+        self.write_waitq.wake_all()
+        return data
+
+    def on_last_close(self) -> None:
+        self.core.reader_open = False
+        self.write_waitq.wake_all()
+
+
+class PipeWriter(OpenFile):
+    def __init__(self, machine: "Machine", core: _PipeCore) -> None:
+        super().__init__(machine, O_WRONLY)
+        self.core = core
+        # The reader's waitq lives on the reader object; share queues via
+        # the core by rebinding both ends to the same queues.
+        self.reader: PipeReader = None  # type: ignore[assignment]
+
+    def poll_readable(self) -> bool:
+        return False
+
+    def poll_writable(self) -> bool:
+        return len(self.core.buffer) < PIPE_CAPACITY or not self.core.reader_open
+
+    def write(self, data: bytes) -> int:
+        sched = self.machine.scheduler
+        kernel: "Kernel" = self.machine.kernel  # type: ignore[attr-defined]
+        if not self.core.reader_open:
+            # POSIX: SIGPIPE to the writer, then EPIPE.
+            thread = sched.current_thread()
+            kthread = getattr(thread, "kthread", None)
+            if kthread is not None:
+                kernel.send_signal_to_process(kthread.process, SIGPIPE)
+            raise SyscallError(EPIPE, "reader closed")
+        while len(self.core.buffer) >= PIPE_CAPACITY:
+            if self.flags & 0o4000:
+                raise SyscallError(EAGAIN, "pipe full")
+            self.machine.kernel.wait_interruptible(self.reader.write_waitq)
+            if not self.core.reader_open:
+                raise SyscallError(EPIPE, "reader closed")
+        self.machine.charge("pipe_transfer")
+        room = PIPE_CAPACITY - len(self.core.buffer)
+        accepted = data[:room]
+        self.core.buffer.extend(accepted)
+        self.reader.read_waitq.wake_all()
+        return len(accepted)
+
+    def on_last_close(self) -> None:
+        self.core.writer_open = False
+        self.reader.read_waitq.wake_all()
+
+
+def make_pipe(machine: "Machine"):
+    """Create a connected (reader, writer) pair."""
+    core = _PipeCore(machine)
+    reader = PipeReader(machine, core)
+    writer = PipeWriter(machine, core)
+    writer.reader = reader
+    return reader, writer

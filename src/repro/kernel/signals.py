@@ -1,0 +1,140 @@
+"""Signal numbering and per-process signal state.
+
+The kernel's internal representation uses **Linux** signal numbers.  The
+Cider compatibility layer (:mod:`repro.compat.signals`) translates to and
+from XNU numbering at the ABI boundary, based on the persona of the thread
+the signal is delivered to (paper §4.1).  The two systems agree on the
+classic numbers but diverge for several signals — most famously SIGUSR1/2
+(10/12 on Linux ARM, 30/31 on XNU) and the STOP/CONT group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+# -- Linux (ARM EABI) numbering ----------------------------------------------
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGILL = 4
+SIGTRAP = 5
+SIGABRT = 6
+SIGBUS = 7
+SIGFPE = 8
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGCHLD = 17
+SIGCONT = 18
+SIGSTOP = 19
+SIGURG = 23
+
+NSIG = 32
+
+SIG_DFL = "SIG_DFL"
+SIG_IGN = "SIG_IGN"
+
+#: Signals whose default disposition terminates the process.
+_FATAL_BY_DEFAULT = frozenset(
+    {
+        SIGHUP,
+        SIGINT,
+        SIGQUIT,
+        SIGILL,
+        SIGTRAP,
+        SIGABRT,
+        SIGBUS,
+        SIGFPE,
+        SIGKILL,
+        SIGUSR1,
+        SIGSEGV,
+        SIGUSR2,
+        SIGPIPE,
+        SIGALRM,
+        SIGTERM,
+    }
+)
+
+#: Signals ignored by default.
+_IGNORED_BY_DEFAULT = frozenset({SIGCHLD, SIGCONT, SIGURG})
+
+
+def default_is_fatal(signum: int) -> bool:
+    return signum in _FATAL_BY_DEFAULT
+
+
+def default_is_ignored(signum: int) -> bool:
+    return signum in _IGNORED_BY_DEFAULT
+
+
+@dataclass
+class SigInfo:
+    """Kernel-internal siginfo (always Linux-numbered)."""
+
+    signum: int
+    sender_pid: int = 0
+    code: int = 0
+
+
+@dataclass
+class SigAction:
+    """A registered handler.  ``handler`` is SIG_DFL, SIG_IGN or a callable
+    invoked as ``handler(ctx, signum_in_persona_numbering, siginfo)``."""
+
+    handler: object = SIG_DFL
+    #: Persona name the handler was registered from; delivery translates
+    #: the signal number into this persona's numbering.
+    persona: str = "android"
+
+
+class SignalState:
+    """Per-process dispositions plus per-thread pending queues."""
+
+    def __init__(self) -> None:
+        self.actions: Dict[int, SigAction] = {}
+
+    def set_action(self, signum: int, action: SigAction) -> SigAction:
+        if not 1 <= signum < NSIG:
+            raise ValueError(f"bad signal {signum}")
+        previous = self.actions.get(signum, SigAction())
+        self.actions[signum] = action
+        return previous
+
+    def action_for(self, signum: int) -> SigAction:
+        return self.actions.get(signum, SigAction())
+
+    def fork_copy(self) -> "SignalState":
+        copy = SignalState()
+        copy.actions = dict(self.actions)
+        return copy
+
+    def exec_reset(self) -> None:
+        """exec() resets caught signals to default, keeps ignored ones."""
+        self.actions = {
+            signum: action
+            for signum, action in self.actions.items()
+            if action.handler == SIG_IGN
+        }
+
+
+@dataclass
+class PendingSignals:
+    """A thread's queue of undelivered signals."""
+
+    queue: List[SigInfo] = field(default_factory=list)
+
+    def push(self, info: SigInfo) -> None:
+        self.queue.append(info)
+
+    def pop(self) -> Optional[SigInfo]:
+        if self.queue:
+            return self.queue.pop(0)
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.queue)

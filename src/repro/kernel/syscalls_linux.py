@@ -1,0 +1,328 @@
+"""The Linux (ARM EABI) syscall table — the domestic kernel ABI.
+
+Syscall numbers follow the ARM EABI assignments for the calls the
+simulation implements; Cider-specific additions (``set_persona``) use a
+number above the native range.  Handlers raise
+:class:`~repro.kernel.errno.SyscallError`; the Linux ABI converts failures
+to the ``-errno`` return convention that bionic's wrappers decode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..persona.abi import DispatchTable, KernelABI
+from .errno import EINVAL, ENOTTY, ESRCH, SyscallError
+from .files import DeviceHandle, DirectoryHandle, O_CREAT, O_EXCL, OpenFile
+from .pipes import make_pipe
+from .select import do_select
+from .signals import SigAction
+from .unix_sockets import UnixSocket, accept, bind, connect, socketpair
+
+if TYPE_CHECKING:
+    from .kernel import Kernel
+    from .process import KThread
+
+# -- ARM EABI syscall numbers ---------------------------------------------------
+NR_exit = 1
+NR_fork = 2
+NR_read = 3
+NR_write = 4
+NR_open = 5
+NR_close = 6
+NR_waitpid = 7  # legacy number kept for the simulation's waitpid
+NR_unlink = 10
+NR_execve = 11
+NR_lseek = 19
+NR_getpid = 20
+NR_kill = 37
+NR_mkdir = 39
+NR_rmdir = 40
+NR_dup = 41
+NR_pipe = 42
+NR_ioctl = 54
+NR_dup2 = 63
+NR_getppid = 64
+NR_sigaction = 67
+NR_getdents = 141
+NR_select = 142  # _newselect
+NR_sched_yield = 158
+NR_nanosleep = 162
+NR_stat = 195  # stat64
+NR_gettid = 224
+NR_socket = 281
+NR_bind = 282
+NR_connect = 283
+NR_accept = 285
+NR_socketpair = 288
+NR_clone = 120
+#: Cider addition — available from every persona (paper §4.3).
+NR_set_persona = 983045  # above the native ARM range (__ARM_NR_* area)
+
+#: ioctl request: read one input event object from an evdev node.
+EVIOC_READ_EVENT = 0x4501
+#: ioctl request: framebuffer geometry.
+FBIOGET_VSCREENINFO = 0x4600
+
+
+class LinuxABI(KernelABI):
+    """The domestic kernel ABI: one dispatch table, -errno convention."""
+
+    name = "linux"
+
+    def __init__(self) -> None:
+        self.table = DispatchTable("linux")
+        _register_all(self.table)
+
+    def dispatch(
+        self, kernel: "Kernel", thread: "KThread", trapno: int, args: tuple
+    ) -> object:
+        _name, handler = self.table.lookup(trapno)
+        return handler(kernel, thread, *args)
+
+    def classify_trap(self, trapno: int) -> str:
+        return "swi"  # Linux/ARM has a single software-interrupt entry
+
+    def success(self, value: object) -> object:
+        return value
+
+    def failure(self, errno: int) -> object:
+        return -errno
+
+    def number_of(self, name: str) -> int:
+        return self.table.number_of(name)
+
+
+# -- handlers -------------------------------------------------------------------
+
+
+def sys_exit(kernel: "Kernel", thread: "KThread", code: int = 0):
+    kernel.processes.do_exit(thread, code)
+
+
+def sys_fork(kernel: "Kernel", thread: "KThread", child_body: Callable):
+    return kernel.processes.do_fork(thread, child_body)
+
+
+def sys_execve(
+    kernel: "Kernel", thread: "KThread", path: str, argv: Optional[List[str]] = None
+):
+    kernel.processes.do_exec(thread, path, list(argv or [path]))
+
+
+def sys_waitpid(kernel: "Kernel", thread: "KThread", pid: int = -1):
+    return kernel.processes.do_waitpid(thread, pid)
+
+
+def sys_getpid(kernel: "Kernel", thread: "KThread"):
+    return thread.process.pid
+
+
+def sys_getppid(kernel: "Kernel", thread: "KThread"):
+    return thread.process.ppid
+
+
+def sys_gettid(kernel: "Kernel", thread: "KThread"):
+    return thread.tid
+
+
+def sys_read(kernel: "Kernel", thread: "KThread", fd: int, nbytes: int):
+    return thread.process.fd_table.get(fd).read(nbytes)
+
+
+def sys_write(kernel: "Kernel", thread: "KThread", fd: int, data: bytes):
+    return thread.process.fd_table.get(fd).write(data)
+
+
+def sys_open(kernel: "Kernel", thread: "KThread", path: str, flags: int = 0):
+    return kernel.open_path(thread.process, path, flags)
+
+
+def sys_close(kernel: "Kernel", thread: "KThread", fd: int):
+    kernel.machine.charge("close_base")
+    thread.process.fd_table.close(fd)
+    return 0
+
+
+def sys_lseek(
+    kernel: "Kernel", thread: "KThread", fd: int, offset: int, whence: int
+):
+    return thread.process.fd_table.get(fd).lseek(offset, whence)
+
+
+def sys_dup(kernel: "Kernel", thread: "KThread", fd: int):
+    return thread.process.fd_table.dup(fd)
+
+
+def sys_dup2(kernel: "Kernel", thread: "KThread", fd: int, newfd: int):
+    return thread.process.fd_table.dup2(fd, newfd)
+
+
+def sys_pipe(kernel: "Kernel", thread: "KThread"):
+    reader, writer = make_pipe(kernel.machine)
+    table = thread.process.fd_table
+    return table.install(reader), table.install(writer)
+
+
+def sys_ioctl(
+    kernel: "Kernel", thread: "KThread", fd: int, request: int, arg: object = None
+):
+    handle = thread.process.fd_table.get(fd)
+    if not isinstance(handle, DeviceHandle):
+        raise SyscallError(ENOTTY, "ioctl on non-device")
+    if request == EVIOC_READ_EVENT:
+        return handle.driver.read_event(handle)
+    if request == FBIOGET_VSCREENINFO:
+        return {"xres": handle.driver.width, "yres": handle.driver.height}
+    return handle.ioctl(request, arg)
+
+
+def sys_mkdir(kernel: "Kernel", thread: "KThread", path: str):
+    kernel.vfs.mkdir(path, thread.process.cwd)
+    return 0
+
+
+def sys_rmdir(kernel: "Kernel", thread: "KThread", path: str):
+    kernel.vfs.rmdir(path, thread.process.cwd)
+    return 0
+
+
+def sys_unlink(kernel: "Kernel", thread: "KThread", path: str):
+    kernel.vfs.unlink(path, thread.process.cwd)
+    return 0
+
+
+def sys_stat(kernel: "Kernel", thread: "KThread", path: str):
+    node = kernel.vfs.resolve(path, thread.process.cwd)
+    return {"kind": node.kind, "size": node.size_bytes}
+
+
+def sys_getdents(kernel: "Kernel", thread: "KThread", fd: int):
+    handle = thread.process.fd_table.get(fd)
+    if not isinstance(handle, DirectoryHandle):
+        raise SyscallError(EINVAL, "getdents on non-directory")
+    return handle.readdir()
+
+
+def sys_kill(kernel: "Kernel", thread: "KThread", pid: int, signum: int):
+    target = kernel.processes.get(pid)
+    kernel.send_signal_to_process(target, signum, sender_pid=thread.process.pid)
+    return 0
+
+
+def sys_sigaction(
+    kernel: "Kernel", thread: "KThread", signum: int, handler: object
+):
+    """Returns the previous handler."""
+    try:
+        previous = thread.process.signals.set_action(
+            signum, SigAction(handler=handler, persona=thread.persona.name)
+        )
+    except ValueError as exc:
+        raise SyscallError(EINVAL, str(exc)) from None
+    return previous.handler
+
+
+def sys_select(
+    kernel: "Kernel",
+    thread: "KThread",
+    read_fds: List[int],
+    write_fds: Optional[List[int]] = None,
+    timeout_ns: Optional[float] = 0,
+):
+    return do_select(kernel, thread, read_fds, write_fds or [], timeout_ns)
+
+
+def sys_sched_yield(kernel: "Kernel", thread: "KThread"):
+    kernel.machine.charge("sched_switch")
+    kernel.machine.scheduler.yield_control()
+    return 0
+
+
+def sys_nanosleep(kernel: "Kernel", thread: "KThread", duration_ns: float):
+    kernel.machine.scheduler.sleep(duration_ns)
+    return 0
+
+
+def sys_clone(
+    kernel: "Kernel", thread: "KThread", fn: Callable, name: str = "thread"
+):
+    """Thread-creating clone (CLONE_VM|CLONE_THREAD)."""
+    new_thread = kernel.processes.spawn_kthread(thread.process, fn, name=name)
+    return new_thread.tid
+
+
+def sys_socket(kernel: "Kernel", thread: "KThread"):
+    sock = UnixSocket(kernel.machine)
+    return thread.process.fd_table.install(sock)
+
+
+def _sock_for(thread: "KThread", fd: int) -> UnixSocket:
+    handle = thread.process.fd_table.get(fd)
+    if not isinstance(handle, UnixSocket):
+        raise SyscallError(EINVAL, "not a socket")
+    return handle
+
+
+def sys_bind(
+    kernel: "Kernel", thread: "KThread", fd: int, path: str, backlog: int = 8
+):
+    bind(kernel.machine, _sock_for(thread, fd), path, backlog)
+    return 0
+
+
+def sys_connect(kernel: "Kernel", thread: "KThread", fd: int, path: str):
+    connect(kernel.machine, _sock_for(thread, fd), path)
+    return 0
+
+
+def sys_accept(kernel: "Kernel", thread: "KThread", fd: int):
+    peer = accept(kernel.machine, _sock_for(thread, fd))
+    return thread.process.fd_table.install(peer)
+
+
+def sys_socketpair(kernel: "Kernel", thread: "KThread"):
+    left, right = socketpair(kernel.machine)
+    table = thread.process.fd_table
+    return table.install(left), table.install(right)
+
+
+def sys_set_persona(kernel: "Kernel", thread: "KThread", persona_name: str):
+    """Cider's persona-switch syscall (registered on Cider kernels only;
+    on a vanilla kernel the number is unassigned and returns ENOSYS)."""
+    return kernel.do_set_persona(thread, persona_name)
+
+
+def _register_all(table: DispatchTable) -> None:
+    table.register(NR_exit, "exit", sys_exit)
+    table.register(NR_fork, "fork", sys_fork)
+    table.register(NR_read, "read", sys_read)
+    table.register(NR_write, "write", sys_write)
+    table.register(NR_open, "open", sys_open)
+    table.register(NR_close, "close", sys_close)
+    table.register(NR_waitpid, "waitpid", sys_waitpid)
+    table.register(NR_unlink, "unlink", sys_unlink)
+    table.register(NR_execve, "execve", sys_execve)
+    table.register(NR_lseek, "lseek", sys_lseek)
+    table.register(NR_getpid, "getpid", sys_getpid)
+    table.register(NR_kill, "kill", sys_kill)
+    table.register(NR_mkdir, "mkdir", sys_mkdir)
+    table.register(NR_rmdir, "rmdir", sys_rmdir)
+    table.register(NR_dup, "dup", sys_dup)
+    table.register(NR_pipe, "pipe", sys_pipe)
+    table.register(NR_ioctl, "ioctl", sys_ioctl)
+    table.register(NR_dup2, "dup2", sys_dup2)
+    table.register(NR_getppid, "getppid", sys_getppid)
+    table.register(NR_sigaction, "sigaction", sys_sigaction)
+    table.register(NR_getdents, "getdents", sys_getdents)
+    table.register(NR_select, "select", sys_select)
+    table.register(NR_sched_yield, "sched_yield", sys_sched_yield)
+    table.register(NR_nanosleep, "nanosleep", sys_nanosleep)
+    table.register(NR_stat, "stat", sys_stat)
+    table.register(NR_gettid, "gettid", sys_gettid)
+    table.register(NR_clone, "clone", sys_clone)
+    table.register(NR_socket, "socket", sys_socket)
+    table.register(NR_bind, "bind", sys_bind)
+    table.register(NR_connect, "connect", sys_connect)
+    table.register(NR_accept, "accept", sys_accept)
+    table.register(NR_socketpair, "socketpair", sys_socketpair)

@@ -1,0 +1,200 @@
+"""AF_UNIX stream sockets.
+
+Used by lmbench's lat_unix and — centrally for Cider — by the channel
+between the *CiderPress* proxy app and the *eventpump* thread inside each
+iOS app (paper §5.2): CiderPress forwards Android input events over a BSD
+socket, and the eventpump republishes them as Mach IPC messages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from collections import deque
+
+from ..sim import WaitQueue
+from .errno import (
+    EAGAIN,
+    ECONNREFUSED,
+    EINVAL,
+    ENOTSOCK,
+    EOPNOTSUPP,
+    EPIPE,
+    SyscallError,
+)
+from .files import O_RDWR, OpenFile
+from .vfs import SocketNode
+
+if TYPE_CHECKING:
+    from ..hw.machine import Machine
+
+SOCK_CAPACITY = 65536
+
+
+class _Stream:
+    """One direction of a connected socket pair."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.open = True
+        self.waitq = WaitQueue("unix-stream")
+
+
+class UnixConnection:
+    """A full-duplex connection: two streams."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.a_to_b = _Stream()
+        self.b_to_a = _Stream()
+
+
+class UnixSocket(OpenFile):
+    """One endpoint.  Created unconnected; becomes connected via
+    connect/accept or socketpair."""
+
+    def __init__(self, machine: "Machine") -> None:
+        super().__init__(machine, O_RDWR)
+        self.connection: Optional[UnixConnection] = None
+        self._rx: Optional[_Stream] = None
+        self._tx: Optional[_Stream] = None
+        self.listener: Optional["UnixListener"] = None
+        self.bound_path: Optional[str] = None
+
+    # -- connection plumbing -----------------------------------------------
+
+    def _attach(self, connection: UnixConnection, side_a: bool) -> None:
+        self.connection = connection
+        if side_a:
+            self._rx, self._tx = connection.b_to_a, connection.a_to_b
+        else:
+            self._rx, self._tx = connection.a_to_b, connection.b_to_a
+        # select() parks on the OpenFile wait queues: alias them to the
+        # per-stream queues so writes on the peer wake selectors here.
+        self.read_waitq = self._rx.waitq
+        self.write_waitq = self._tx.waitq
+
+    @property
+    def connected(self) -> bool:
+        return self.connection is not None
+
+    # -- readiness ---------------------------------------------------------
+
+    def poll_readable(self) -> bool:
+        if self.listener is not None:
+            return bool(self.listener.pending)
+        if self._rx is None:
+            return False
+        return bool(self._rx.buffer) or not self._rx.open
+
+    def poll_writable(self) -> bool:
+        if self._tx is None:
+            return False
+        return len(self._tx.buffer) < SOCK_CAPACITY or not self._tx.open
+
+    # -- I/O ------------------------------------------------------------------
+
+    def read(self, nbytes: int) -> bytes:
+        if self._rx is None:
+            raise SyscallError(EINVAL, "socket not connected")
+        sched = self.machine.scheduler
+        while not self._rx.buffer:
+            if not self._rx.open:
+                return b""
+            if self.flags & 0o4000:
+                raise SyscallError(EAGAIN, "socket empty")
+            self.machine.kernel.wait_interruptible(self._rx.waitq)
+        self.machine.charge("sock_transfer")
+        data = bytes(self._rx.buffer[:nbytes])
+        del self._rx.buffer[: len(data)]
+        self._rx.waitq.wake_all()  # writers blocked on backpressure
+        return data
+
+    def write(self, data: bytes) -> int:
+        if self._tx is None:
+            raise SyscallError(EINVAL, "socket not connected")
+        if not self._tx.open:
+            raise SyscallError(EPIPE, "peer closed")
+        sched = self.machine.scheduler
+        while len(self._tx.buffer) >= SOCK_CAPACITY:
+            self.machine.kernel.wait_interruptible(self._tx.waitq)
+            if not self._tx.open:
+                raise SyscallError(EPIPE, "peer closed")
+        self.machine.charge("sock_transfer")
+        self._tx.buffer.extend(data)
+        self._tx.waitq.wake_all()  # readers blocked on empty
+        return len(data)
+
+    def on_last_close(self) -> None:
+        if self._tx is not None:
+            self._tx.open = False
+            self._tx.waitq.wake_all()
+        if self._rx is not None:
+            self._rx.open = False
+            self._rx.waitq.wake_all()
+        if self.listener is not None:
+            self.listener.closed = True
+            self.listener.accept_waitq.wake_all()
+
+
+class UnixListener:
+    """State behind a listening socket."""
+
+    def __init__(self, backlog: int) -> None:
+        self.backlog = backlog
+        self.pending: Deque[UnixSocket] = deque()
+        self.accept_waitq = WaitQueue("unix-accept")
+        self.closed = False
+
+
+def socketpair(machine: "Machine"):
+    """Create a connected pair (the simplest way CiderPress and the
+    eventpump get a channel)."""
+    connection = UnixConnection(machine)
+    left = UnixSocket(machine)
+    right = UnixSocket(machine)
+    left._attach(connection, side_a=True)
+    right._attach(connection, side_a=False)
+    return left, right
+
+
+def bind(machine: "Machine", sock: UnixSocket, path: str, backlog: int = 8):
+    """bind + listen combined (the simulation has no separate listen)."""
+    listener = UnixListener(backlog)
+    sock.listener = listener
+    sock.bound_path = path
+    sock.read_waitq = listener.accept_waitq
+    machine.kernel.vfs.bind_socket(path, listener)  # type: ignore[attr-defined]
+    return listener
+
+
+def connect(machine: "Machine", sock: UnixSocket, path: str) -> None:
+    """Connect to a bound path; blocks until accepted."""
+    node = machine.kernel.vfs.resolve(path)  # type: ignore[attr-defined]
+    if not isinstance(node, SocketNode):
+        raise SyscallError(ENOTSOCK, path)
+    listener = node.listener
+    if not isinstance(listener, UnixListener) or listener.closed:
+        raise SyscallError(ECONNREFUSED, path)
+    if len(listener.pending) >= listener.backlog:
+        raise SyscallError(EAGAIN, "backlog full")
+    connection = UnixConnection(machine)
+    sock._attach(connection, side_a=True)
+    peer = UnixSocket(machine)
+    peer._attach(connection, side_a=False)
+    listener.pending.append(peer)
+    listener.accept_waitq.wake_all()
+
+
+def accept(machine: "Machine", sock: UnixSocket) -> UnixSocket:
+    """Accept one pending connection, blocking if none."""
+    listener = sock.listener
+    if listener is None:
+        raise SyscallError(EOPNOTSUPP, "not listening")
+    sched = machine.scheduler
+    while not listener.pending:
+        if listener.closed:
+            raise SyscallError(EINVAL, "listener closed")
+        machine.kernel.wait_interruptible(listener.accept_waitq)
+    machine.charge("sock_transfer")
+    return listener.pending.popleft()

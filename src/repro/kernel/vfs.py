@@ -1,0 +1,275 @@
+"""The virtual filesystem.
+
+An in-memory ramfs with directories, regular files, and device nodes.
+Binaries live in the VFS as regular files carrying a parsed
+:class:`~repro.binfmt.BinaryImage` (their nominal size is the image's
+on-disk size, so dyld's filesystem walk and PassMark's storage tests see
+realistic sizes without storing megabytes of bytes).
+
+Path resolution charges ``path_lookup_component`` per component — this is
+what makes the Cider prototype's non-prelinked dyld walk expensive
+(paper §6.2: "dyld must walk the filesystem to load each library on every
+exec").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..binfmt import BinaryImage
+from .errno import (
+    EEXIST,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    SyscallError,
+)
+
+if TYPE_CHECKING:
+    from ..hw.machine import Machine
+
+
+class Inode:
+    """Base of all filesystem objects."""
+
+    kind = "inode"
+
+    def __init__(self) -> None:
+        self.nlink = 1
+
+    @property
+    def size_bytes(self) -> int:
+        return 0
+
+
+class Directory(Inode):
+    kind = "dir"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.entries: Dict[str, Inode] = {}
+
+    def lookup(self, name: str) -> Optional[Inode]:
+        return self.entries.get(name)
+
+    def link(self, name: str, inode: Inode) -> None:
+        if name in self.entries:
+            raise SyscallError(EEXIST, name)
+        self.entries[name] = inode
+
+    def unlink(self, name: str) -> Inode:
+        try:
+            return self.entries.pop(name)
+        except KeyError:
+            raise SyscallError(ENOENT, name) from None
+
+    def names(self) -> List[str]:
+        return sorted(self.entries)
+
+
+class RegularFile(Inode):
+    kind = "file"
+
+    def __init__(
+        self,
+        data: bytes = b"",
+        binary_image: Optional[BinaryImage] = None,
+    ) -> None:
+        super().__init__()
+        self.data = bytearray(data)
+        self.binary_image = binary_image
+
+    @property
+    def size_bytes(self) -> int:
+        if self.binary_image is not None:
+            return max(len(self.data), self.binary_image.vm_size_bytes)
+        return len(self.data)
+
+    @property
+    def magic(self) -> bytes:
+        if self.binary_image is not None:
+            return self.binary_image.magic
+        return bytes(self.data[:4])
+
+
+class DeviceNode(Inode):
+    kind = "device"
+
+    def __init__(self, driver: object) -> None:
+        super().__init__()
+        self.driver = driver
+
+
+class SocketNode(Inode):
+    """A bound AF_UNIX socket name."""
+
+    kind = "socket"
+
+    def __init__(self, listener: object) -> None:
+        super().__init__()
+        self.listener = listener
+
+
+class VFS:
+    """The mounted filesystem tree plus path resolution."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+        self.root = Directory()
+
+    # -- path plumbing --------------------------------------------------------
+
+    @staticmethod
+    def split(path: str) -> List[str]:
+        return [part for part in path.split("/") if part and part != "."]
+
+    def _charge_lookup(self, components: int) -> None:
+        self._machine.charge("path_lookup_component", max(1, components))
+
+    def resolve(self, path: str, cwd: Optional[Directory] = None) -> Inode:
+        """Resolve ``path`` to an inode, charging per component."""
+        parts = self.split(path)
+        self._charge_lookup(len(parts))
+        node: Inode = self.root if path.startswith("/") or cwd is None else cwd
+        for part in parts:
+            if not isinstance(node, Directory):
+                raise SyscallError(ENOTDIR, path)
+            child = node.lookup(part)
+            if child is None:
+                raise SyscallError(ENOENT, path)
+            node = child
+        return node
+
+    def resolve_parent(
+        self, path: str, cwd: Optional[Directory] = None
+    ) -> Tuple[Directory, str]:
+        """Resolve all but the last component; return (dir, last_name)."""
+        parts = self.split(path)
+        if not parts:
+            raise SyscallError(ENOENT, path)
+        self._charge_lookup(len(parts))
+        node: Inode = self.root if path.startswith("/") or cwd is None else cwd
+        for part in parts[:-1]:
+            if not isinstance(node, Directory):
+                raise SyscallError(ENOTDIR, path)
+            child = node.lookup(part)
+            if child is None:
+                raise SyscallError(ENOENT, path)
+            node = child
+        if not isinstance(node, Directory):
+            raise SyscallError(ENOTDIR, path)
+        return node, parts[-1]
+
+    def exists(self, path: str, cwd: Optional[Directory] = None) -> bool:
+        try:
+            self.resolve(path, cwd)
+            return True
+        except SyscallError:
+            return False
+
+    # -- namespace operations ---------------------------------------------------
+
+    def mkdir(self, path: str, cwd: Optional[Directory] = None) -> Directory:
+        parent, name = self.resolve_parent(path, cwd)
+        directory = Directory()
+        parent.link(name, directory)
+        return directory
+
+    def makedirs(self, path: str) -> Directory:
+        """mkdir -p."""
+        node: Inode = self.root
+        for part in self.split(path):
+            if not isinstance(node, Directory):
+                raise SyscallError(ENOTDIR, path)
+            child = node.lookup(part)
+            if child is None:
+                child = Directory()
+                node.link(part, child)
+            node = child
+        if not isinstance(node, Directory):
+            raise SyscallError(ENOTDIR, path)
+        return node
+
+    def create_file(
+        self,
+        path: str,
+        data: bytes = b"",
+        binary_image: Optional[BinaryImage] = None,
+        cwd: Optional[Directory] = None,
+        exist_ok: bool = False,
+    ) -> RegularFile:
+        parent, name = self.resolve_parent(path, cwd)
+        existing = parent.lookup(name)
+        if existing is not None:
+            if exist_ok and isinstance(existing, RegularFile):
+                return existing
+            raise SyscallError(EEXIST, path)
+        self._machine.charge("file_create")
+        inode = RegularFile(data, binary_image)
+        parent.link(name, inode)
+        return inode
+
+    def add_device(self, path: str, driver: object) -> DeviceNode:
+        parent, name = self.resolve_parent(path, None)
+        node = DeviceNode(driver)
+        parent.link(name, node)
+        return node
+
+    def bind_socket(self, path: str, listener: object) -> SocketNode:
+        parent, name = self.resolve_parent(path, None)
+        node = SocketNode(listener)
+        parent.link(name, node)
+        return node
+
+    def unlink(self, path: str, cwd: Optional[Directory] = None) -> None:
+        parent, name = self.resolve_parent(path, cwd)
+        target = parent.lookup(name)
+        if target is None:
+            raise SyscallError(ENOENT, path)
+        if isinstance(target, Directory):
+            raise SyscallError(EISDIR, path)
+        self._machine.charge("file_unlink")
+        parent.unlink(name)
+
+    def rmdir(self, path: str, cwd: Optional[Directory] = None) -> None:
+        parent, name = self.resolve_parent(path, cwd)
+        target = parent.lookup(name)
+        if target is None:
+            raise SyscallError(ENOENT, path)
+        if not isinstance(target, Directory):
+            raise SyscallError(ENOTDIR, path)
+        if target.entries:
+            raise SyscallError(ENOTEMPTY, path)
+        parent.unlink(name)
+
+    def listdir(self, path: str, cwd: Optional[Directory] = None) -> List[str]:
+        node = self.resolve(path, cwd)
+        if not isinstance(node, Directory):
+            raise SyscallError(ENOTDIR, path)
+        return node.names()
+
+    def install_binary(self, path: str, image: BinaryImage) -> RegularFile:
+        """Place an executable/dylib into the tree, creating directories.
+        Installing over an existing path replaces its image (a copy)."""
+        parts = self.split(path)
+        if len(parts) > 1:
+            self.makedirs("/" + "/".join(parts[:-1]))
+        node = self.create_file(path, binary_image=image, exist_ok=True)
+        node.binary_image = image
+        return node
+
+    def walk(self, path: str = "/") -> List[str]:
+        """All file paths under ``path`` (for tests and the installer)."""
+        result: List[str] = []
+
+        def _walk(node: Inode, prefix: str) -> None:
+            if isinstance(node, Directory):
+                for name in node.names():
+                    _walk(node.entries[name], f"{prefix}/{name}")
+            else:
+                result.append(prefix or "/")
+
+        start = self.resolve(path)
+        _walk(start, "" if path == "/" else path.rstrip("/"))
+        return result

@@ -1,0 +1,18 @@
+"""Per-thread personas: kernel ABI selection plus TLS layout management."""
+
+from .abi import DispatchTable, KernelABI, SyscallHandler
+from .persona import Persona, PersonaRegistry, UnknownPersonaError
+from .tls import ANDROID_TLS_LAYOUT, IOS_TLS_LAYOUT, TLSArea, TLSLayout
+
+__all__ = [
+    "DispatchTable",
+    "KernelABI",
+    "SyscallHandler",
+    "Persona",
+    "PersonaRegistry",
+    "UnknownPersonaError",
+    "ANDROID_TLS_LAYOUT",
+    "IOS_TLS_LAYOUT",
+    "TLSArea",
+    "TLSLayout",
+]

@@ -1,0 +1,81 @@
+"""The kernel ABI interface.
+
+Each persona carries a :class:`KernelABI`: the object that owns the
+persona's syscall dispatch tables and its calling/error conventions.  The
+kernel's trap path is ABI-agnostic — it charges entry/exit costs, asks the
+current persona's ABI to dispatch, and lets the ABI encode success or
+failure in its own convention (Linux returns ``-errno``; XNU raises the
+carry flag and returns the positive errno; paper §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+from ..kernel.errno import ENOSYS, SyscallError
+
+if TYPE_CHECKING:
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import KThread
+
+#: A syscall handler: handler(kernel, kthread, *args) -> value.
+SyscallHandler = Callable[..., object]
+
+
+class KernelABI:
+    """Base class for persona ABIs."""
+
+    name = "abi"
+
+    def dispatch(
+        self, kernel: "Kernel", thread: "KThread", trapno: int, args: tuple
+    ) -> object:
+        raise NotImplementedError
+
+    def classify_trap(self, trapno: int) -> str:
+        """The trap class of ``trapno`` (Linux has one; XNU has four)."""
+        raise NotImplementedError
+
+    # Result conventions -----------------------------------------------------
+
+    def success(self, value: object) -> object:
+        raise NotImplementedError
+
+    def failure(self, errno: int) -> object:
+        raise NotImplementedError
+
+
+class DispatchTable:
+    """One numbered syscall table."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._handlers: Dict[int, Tuple[str, SyscallHandler]] = {}
+        self._numbers_by_name: Dict[str, int] = {}
+
+    def register(self, number: int, name: str, handler: SyscallHandler) -> None:
+        if number in self._handlers:
+            raise ValueError(
+                f"{self.name}: syscall {number} already bound to "
+                f"{self._handlers[number][0]!r}"
+            )
+        self._handlers[number] = (name, handler)
+        self._numbers_by_name[name] = number
+
+    def lookup(self, number: int) -> Tuple[str, SyscallHandler]:
+        try:
+            return self._handlers[number]
+        except KeyError:
+            raise SyscallError(ENOSYS, f"{self.name}[{number}]") from None
+
+    def number_of(self, name: str) -> int:
+        return self._numbers_by_name[name]
+
+    def names(self):
+        return sorted(self._numbers_by_name)
+
+    def __contains__(self, number: int) -> bool:
+        return number in self._handlers
+
+    def __len__(self) -> int:
+        return len(self._handlers)

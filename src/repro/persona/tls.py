@@ -1,0 +1,84 @@
+"""Thread-local storage areas.
+
+Each persona prescribes its own TLS organisation — "the errno pointer is
+at a different location in the iOS TLS than in the Android TLS" (paper
+§4.3).  A thread executing under multiple personas owns one
+:class:`TLSArea` per persona; the ``set_persona`` syscall swaps which area
+the thread's TLS register points at, and diplomats convert values such as
+errno between areas when crossing back (arbitration step 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class TLSLayout:
+    """The slot layout of one persona's TLS block."""
+
+    def __init__(self, name: str, slots: Dict[str, int]) -> None:
+        self.name = name
+        #: slot name -> byte offset within the TLS block.  Offsets differ
+        #: between personas; nothing in the simulation dereferences them,
+        #: but they make the "different location" property concrete and
+        #: testable.
+        self.slots = dict(slots)
+
+    def offset_of(self, slot: str) -> int:
+        return self.slots[slot]
+
+    def __repr__(self) -> str:
+        return f"<TLSLayout {self.name!r}>"
+
+
+#: Bionic's TLS: errno lives in a well-known early slot.
+ANDROID_TLS_LAYOUT = TLSLayout(
+    "android",
+    {"self": 0, "errno": 8, "thread_id": 16, "stack_guard": 24, "dtv": 32},
+)
+
+#: The iOS libSystem TLS puts errno elsewhere and reserves Mach slots.
+IOS_TLS_LAYOUT = TLSLayout(
+    "ios",
+    {
+        "self": 0,
+        "thread_id": 8,
+        "mach_thread_self": 16,
+        "errno": 40,
+        "mig_reply": 48,
+    },
+)
+
+
+class TLSArea:
+    """One persona's TLS block for one thread."""
+
+    def __init__(self, layout: TLSLayout) -> None:
+        self.layout = layout
+        self._values: Dict[str, object] = {slot: 0 for slot in layout.slots}
+
+    def get(self, slot: str) -> object:
+        return self._values[slot]
+
+    def set(self, slot: str, value: object) -> None:
+        if slot not in self._values:
+            raise KeyError(
+                f"TLS layout {self.layout.name!r} has no slot {slot!r}"
+            )
+        self._values[slot] = value
+
+    @property
+    def errno(self) -> int:
+        return int(self._values["errno"])  # both layouts define errno
+
+    @errno.setter
+    def errno(self, value: int) -> None:
+        self._values["errno"] = value
+
+    def fork_copy(self) -> "TLSArea":
+        copy = TLSArea(self.layout)
+        copy._values = dict(self._values)
+        return copy
+
+    def __repr__(self) -> str:
+        return f"<TLSArea {self.layout.name!r} errno={self.errno}>"

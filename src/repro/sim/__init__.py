@@ -1,0 +1,40 @@
+"""Deterministic discrete-cost simulation substrate.
+
+This package is OS-agnostic: it provides virtual time, a cooperative
+deterministic scheduler, structured tracing and the named cost model that
+the simulated kernels and user spaces charge work against.
+"""
+
+from .clock import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, Stopwatch, VirtualClock
+from .costs import DEFAULT_COSTS, CostModel, UnknownCostError
+from .errors import (
+    ClockError,
+    DeadlockError,
+    SchedulerError,
+    SimulationError,
+    ThreadKilled,
+)
+from .scheduler import Scheduler, SimThread, ThreadState, WaitQueue
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "NSEC_PER_MSEC",
+    "NSEC_PER_SEC",
+    "NSEC_PER_USEC",
+    "Stopwatch",
+    "VirtualClock",
+    "DEFAULT_COSTS",
+    "CostModel",
+    "UnknownCostError",
+    "ClockError",
+    "DeadlockError",
+    "SchedulerError",
+    "SimulationError",
+    "ThreadKilled",
+    "Scheduler",
+    "SimThread",
+    "ThreadState",
+    "WaitQueue",
+    "Trace",
+    "TraceEvent",
+]

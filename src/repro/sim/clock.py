@@ -1,0 +1,75 @@
+"""Virtual time.
+
+All simulated work is accounted against a :class:`VirtualClock` in
+nanoseconds.  The clock only moves when the currently running simulated
+thread charges time to it, or when the scheduler fast-forwards to the next
+timer deadline because every thread is asleep.  Measurements taken from the
+clock are therefore exact and perfectly reproducible: running the same
+workload twice yields bit-identical timings.
+"""
+
+from __future__ import annotations
+
+from .errors import ClockError
+
+NSEC_PER_USEC = 1_000
+NSEC_PER_MSEC = 1_000_000
+NSEC_PER_SEC = 1_000_000_000
+
+
+class VirtualClock:
+    """A monotonically increasing virtual nanosecond counter."""
+
+    def __init__(self) -> None:
+        self._now_ns: float = 0.0
+        self._charged_ns: float = 0.0
+
+    @property
+    def now_ns(self) -> float:
+        """Current virtual time in nanoseconds since boot."""
+        return self._now_ns
+
+    @property
+    def charged_ns(self) -> float:
+        """Total time charged through :meth:`charge` (excludes jumps)."""
+        return self._charged_ns
+
+    def charge(self, ns: float) -> None:
+        """Advance the clock by ``ns`` nanoseconds of simulated work."""
+        if ns < 0:
+            raise ClockError(f"cannot charge negative time: {ns}")
+        self._now_ns += ns
+        self._charged_ns += ns
+
+    def jump_to(self, deadline_ns: float) -> None:
+        """Fast-forward to ``deadline_ns`` (scheduler use only)."""
+        if deadline_ns < self._now_ns:
+            raise ClockError(
+                f"cannot jump backwards: now={self._now_ns} target={deadline_ns}"
+            )
+        self._now_ns = deadline_ns
+
+
+class Stopwatch:
+    """Measures elapsed virtual time between two points.
+
+    >>> watch = Stopwatch(clock)
+    >>> ... simulated work ...
+    >>> elapsed = watch.elapsed_ns()
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start_ns = clock.now_ns
+
+    def restart(self) -> None:
+        self._start_ns = self._clock.now_ns
+
+    def elapsed_ns(self) -> float:
+        return self._clock.now_ns - self._start_ns
+
+    def elapsed_us(self) -> float:
+        return self.elapsed_ns() / NSEC_PER_USEC
+
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ns() / NSEC_PER_MSEC

@@ -1,0 +1,35 @@
+"""Simulation-level error types.
+
+These exceptions belong to the simulation substrate itself, not to any
+simulated operating system.  Simulated kernels signal errors to simulated
+user space through errno values and signals, never through these classes.
+"""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation substrate."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable thread exists, no timer is pending, and work remains.
+
+    Raised by :meth:`repro.sim.scheduler.Scheduler.run` when every live
+    non-daemon thread is blocked with nothing that could ever wake it.
+    """
+
+
+class ThreadKilled(BaseException):
+    """Injected into a simulated thread to force it to unwind.
+
+    Derives from :class:`BaseException` so that simulated code which
+    catches ``Exception`` (as application code legitimately does) cannot
+    swallow a kill request from the scheduler.
+    """
+
+
+class ClockError(SimulationError):
+    """Illegal use of the virtual clock (negative charge, bad deadline)."""
+
+
+class SchedulerError(SimulationError):
+    """Illegal scheduler operation (e.g. blocking from a non-sim thread)."""

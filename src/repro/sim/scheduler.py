@@ -1,0 +1,445 @@
+"""Deterministic cooperative scheduler.
+
+Simulated threads are backed by real Python threads, but exactly one of
+them (or the controller — the code that called :meth:`Scheduler.run`) holds
+the *token* at any instant.  Control moves only at explicit points: when a
+thread blocks, sleeps, yields, or exits.  Together with the virtual clock
+this makes every run fully deterministic — there is no true concurrency and
+therefore no data race anywhere in the simulation.
+
+The token protocol
+------------------
+
+Every participant (each :class:`SimThread` plus the controller) owns a
+:class:`threading.Event`.  The token holder hands off by setting the
+target's event and then waiting on its own.  A thread that exits hands the
+token off without waiting.  The scheduler's dispatch routine picks the next
+READY thread in strict FIFO order; if none is ready but timers are pending
+it fast-forwards the clock; otherwise the token returns to the controller,
+which decides whether the run is complete or deadlocked.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from enum import Enum
+from typing import Callable, Iterable, List, Optional
+
+from .clock import VirtualClock
+from .errors import DeadlockError, SchedulerError, ThreadKilled
+
+
+class ThreadState(Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    DONE = "done"
+    KILLED = "killed"
+
+
+class _TokenHolder:
+    """Common handoff machinery shared by SimThread and the controller."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._go = threading.Event()
+        self._killed = False
+
+    def _wake(self) -> None:
+        self._go.set()
+
+    def _wait_for_token(self) -> None:
+        self._go.wait()
+        self._go.clear()
+        if self._killed:
+            raise ThreadKilled(self.name)
+
+
+class _Timer:
+    """A pending deadline for a sleeping or timed-blocked thread."""
+
+    __slots__ = ("deadline_ns", "seq", "thread", "cancelled", "fired")
+
+    def __init__(self, deadline_ns: float, seq: int, thread: "SimThread"):
+        self.deadline_ns = deadline_ns
+        self.seq = seq
+        self.thread = thread
+        self.cancelled = False
+        self.fired = False
+
+    def sort_key(self):
+        return (self.deadline_ns, self.seq)
+
+    def __lt__(self, other: "_Timer") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class SimThread(_TokenHolder):
+    """A simulated thread of execution.
+
+    ``body`` runs on a dedicated Python thread but only while this
+    SimThread holds the scheduler token.  ``daemon`` threads (system
+    services that block forever waiting for requests) do not keep
+    :meth:`Scheduler.run` from completing.
+    """
+
+    _next_id = 1
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        body: Callable[[], object],
+        name: str,
+        daemon: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.sid = SimThread._next_id
+        SimThread._next_id += 1
+        self.daemon = daemon
+        self.state = ThreadState.NEW
+        self.result: object = None
+        self.failure: Optional[BaseException] = None
+        self.wait_channel: Optional["WaitQueue"] = None
+        self._scheduler = scheduler
+        self._body = body
+        self._joiners = WaitQueue(f"join:{name}")
+        self._os_thread = threading.Thread(
+            target=self._run, name=f"sim:{name}", daemon=True
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _run(self) -> None:
+        sched = self._scheduler
+        try:
+            self._wait_for_token()
+            self.state = ThreadState.RUNNING
+            self.result = self._body()
+            self.state = ThreadState.DONE
+        except ThreadKilled:
+            self.state = ThreadState.KILLED
+        except BaseException as exc:  # surfaced to whoever joins / runs
+            self.state = ThreadState.DONE
+            self.failure = exc
+        finally:
+            sched._on_thread_exit(self)
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ThreadState.DONE, ThreadState.KILLED)
+
+    def __repr__(self) -> str:
+        return f"<SimThread {self.sid} {self.name!r} {self.state.value}>"
+
+
+class WaitQueue:
+    """A FIFO queue of blocked threads, the simulation's wait channel.
+
+    Wakeups move threads back to the scheduler's ready queue; they run
+    when the token next reaches them.
+    """
+
+    def __init__(self, name: str = "waitq") -> None:
+        self.name = name
+        self._waiters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def _add(self, thread: SimThread) -> None:
+        self._waiters.append(thread)
+
+    def _discard(self, thread: SimThread) -> None:
+        try:
+            self._waiters.remove(thread)
+        except ValueError:
+            pass
+
+    def wake_one(self) -> Optional[SimThread]:
+        """Make the longest-waiting thread runnable; return it, or None."""
+        while self._waiters:
+            thread = self._waiters.popleft()
+            if thread.alive and thread._scheduler._make_ready(thread):
+                return thread
+        return None
+
+    def wake_all(self) -> List[SimThread]:
+        woken = []
+        while self._waiters:
+            thread = self._waiters.popleft()
+            if thread.alive and thread._scheduler._make_ready(thread):
+                woken.append(thread)
+        return woken
+
+    def __repr__(self) -> str:
+        return f"<WaitQueue {self.name!r} waiters={len(self._waiters)}>"
+
+
+class Scheduler:
+    """Owns the token, the ready queue, and the timer wheel."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._ready: deque = deque()
+        self._timers: List[_Timer] = []
+        self._timer_seq = 0
+        self._threads: List[SimThread] = []
+        self._controller = _TokenHolder("controller")
+        self._current: _TokenHolder = self._controller
+        self._shutdown = False
+
+    # -- public API --------------------------------------------------------
+
+    def spawn(
+        self,
+        body: Callable[[], object],
+        name: str = "thread",
+        daemon: bool = False,
+    ) -> SimThread:
+        """Create a simulated thread; it becomes READY immediately."""
+        thread = SimThread(self, body, name, daemon=daemon)
+        self._threads.append(thread)
+        thread.state = ThreadState.READY
+        self._ready.append(thread)
+        thread._os_thread.start()
+        return thread
+
+    def current_thread(self) -> SimThread:
+        """The simulated thread currently holding the token."""
+        if not isinstance(self._current, SimThread):
+            raise SchedulerError("no simulated thread is running")
+        return self._current
+
+    def in_sim_thread(self) -> bool:
+        return isinstance(self._current, SimThread)
+
+    def yield_control(self) -> None:
+        """Round-robin: let every other READY thread run once."""
+        me = self.current_thread()
+        me.state = ThreadState.READY
+        self._ready.append(me)
+        self._dispatch(me)
+        me.state = ThreadState.RUNNING
+
+    def block_on(self, waitq: WaitQueue) -> None:
+        """Park the current thread on ``waitq`` until woken."""
+        me = self.current_thread()
+        me.state = ThreadState.BLOCKED
+        me.wait_channel = waitq
+        waitq._add(me)
+        self._dispatch(me)
+        me.wait_channel = None
+        me.state = ThreadState.RUNNING
+
+    def block_on_timeout(self, waitq: WaitQueue, timeout_ns: float) -> bool:
+        """Park on ``waitq`` with a deadline.
+
+        Returns True if woken through the wait queue before the deadline,
+        False if the deadline fired first.
+        """
+        me = self.current_thread()
+        me.state = ThreadState.BLOCKED
+        me.wait_channel = waitq
+        waitq._add(me)
+        timer = self._arm_timer(me, timeout_ns)
+        self._dispatch(me)
+        me.state = ThreadState.RUNNING
+        me.wait_channel = None
+        timer.cancelled = True
+        waitq._discard(me)
+        return not timer.fired
+
+    def block_on_any(
+        self,
+        waitqs: "List[WaitQueue]",
+        timeout_ns: Optional[float] = None,
+    ) -> bool:
+        """Park on several wait queues at once (the poll/select primitive).
+
+        Returns True if woken through any of the queues, False on timeout.
+        With ``timeout_ns=None`` it blocks until woken.
+        """
+        me = self.current_thread()
+        me.state = ThreadState.BLOCKED
+        me.wait_channel = waitqs[0] if waitqs else None
+        for waitq in waitqs:
+            waitq._add(me)
+        timer = None
+        if timeout_ns is not None:
+            timer = self._arm_timer(me, timeout_ns)
+        self._dispatch(me)
+        me.state = ThreadState.RUNNING
+        me.wait_channel = None
+        for waitq in waitqs:
+            waitq._discard(me)
+        if timer is None:
+            return True
+        timer.cancelled = True
+        return not timer.fired
+
+    def sleep(self, duration_ns: float) -> None:
+        """Sleep the current thread for ``duration_ns`` of virtual time."""
+        me = self.current_thread()
+        me.state = ThreadState.SLEEPING
+        self._arm_timer(me, duration_ns)
+        self._dispatch(me)
+        me.state = ThreadState.RUNNING
+
+    def join(self, thread: SimThread) -> object:
+        """Block the current thread until ``thread`` finishes."""
+        while thread.alive:
+            self.block_on(thread._joiners)
+        if thread.failure is not None:
+            raise thread.failure
+        return thread.result
+
+    def run(self) -> None:
+        """Run until every non-daemon thread finishes and daemons quiesce.
+
+        Raises :class:`DeadlockError` if non-daemon threads remain but
+        nothing can ever run again.
+        """
+        if self._current is not self._controller:
+            raise SchedulerError("run() called re-entrantly")
+        while True:
+            self._reap()
+            if not self._ready and not self._fire_due_timers():
+                pending = [t for t in self._threads if t.alive and not t.daemon]
+                if not pending:
+                    return
+                raise DeadlockError(
+                    "all threads blocked: "
+                    + ", ".join(f"{t.name} on {t.wait_channel}" for t in pending)
+                )
+            self._handoff_from_controller()
+
+    def run_until_done(self, thread: SimThread) -> object:
+        """Run the simulation until ``thread`` completes; return its result."""
+        while thread.alive:
+            self._reap()
+            if not self._ready and not self._fire_due_timers():
+                raise DeadlockError(f"waiting on {thread!r} but nothing can run")
+            self._handoff_from_controller()
+        if thread.failure is not None:
+            raise thread.failure
+        return thread.result
+
+    def kill_thread(self, victim: SimThread) -> None:
+        """Force ``victim`` to unwind with ThreadKilled the next time it
+        would run.  Callable from any context (unlike shutdown)."""
+        if not victim.alive:
+            return
+        victim._killed = True
+        if victim.state in (ThreadState.BLOCKED, ThreadState.SLEEPING):
+            if victim.wait_channel is not None:
+                victim.wait_channel._discard(victim)
+            victim.state = ThreadState.READY
+            self._ready.append(victim)
+        if victim is self._current:
+            raise ThreadKilled(victim.name)
+
+    def shutdown(self) -> None:
+        """Kill every remaining simulated thread and reclaim OS threads."""
+        self._shutdown = True
+        victims = [t for t in self._threads if t.alive]
+        for thread in victims:
+            if not thread.alive:
+                continue
+            thread._killed = True
+            # Hand the token directly to the victim; it unwinds via
+            # ThreadKilled and hands the token straight back (see
+            # _on_thread_exit's shutdown path).
+            self._current = thread
+            thread._wake()
+            self._controller._wait_for_token()
+        for thread in victims:
+            thread._os_thread.join(timeout=5.0)
+        self._threads = [t for t in self._threads if t.alive]
+        self._ready.clear()
+        self._timers.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _arm_timer(self, thread: SimThread, delay_ns: float) -> _Timer:
+        self._timer_seq += 1
+        timer = _Timer(self.clock.now_ns + delay_ns, self._timer_seq, thread)
+        heapq.heappush(self._timers, timer)
+        return timer
+
+    def _make_ready(self, thread: SimThread) -> bool:
+        if thread.state in (ThreadState.BLOCKED, ThreadState.SLEEPING):
+            thread.state = ThreadState.READY
+            self._ready.append(thread)
+            return True
+        return False
+
+    def _reap(self) -> None:
+        self._threads = [t for t in self._threads if t.alive]
+
+    def _fire_due_timers(self) -> bool:
+        """Called only with an empty ready queue: jump virtual time to the
+        next live timer and wake its thread.  Returns True if a thread
+        became ready."""
+        while self._timers:
+            timer = heapq.heappop(self._timers)
+            thread = timer.thread
+            if timer.cancelled or not thread.alive:
+                continue
+            if thread.state not in (ThreadState.BLOCKED, ThreadState.SLEEPING):
+                continue
+            self.clock.jump_to(max(timer.deadline_ns, self.clock.now_ns))
+            if thread.wait_channel is not None:
+                thread.wait_channel._discard(thread)
+            timer.fired = True
+            thread.state = ThreadState.READY
+            self._ready.append(thread)
+            return True
+        return False
+
+    def _pick_next(self) -> Optional[SimThread]:
+        while self._ready:
+            thread = self._ready.popleft()
+            if thread.alive and thread.state is ThreadState.READY:
+                return thread
+        return None
+
+    def _dispatch(self, from_thread: SimThread) -> None:
+        """Give up the token; regain it when rescheduled."""
+        target = self._pick_next()
+        if target is None and self._fire_due_timers():
+            target = self._pick_next()
+        if target is from_thread:
+            return  # sole runnable thread: keep running
+        self._current = target if target is not None else self._controller
+        self._current._wake()
+        from_thread._wait_for_token()
+
+    def _handoff_from_controller(self) -> None:
+        target = self._pick_next()
+        if target is None:
+            return
+        self._current = target
+        target._wake()
+        self._controller._wait_for_token()
+
+    def _on_thread_exit(self, thread: SimThread) -> None:
+        """Final act of a dying thread: pass the token on, don't wait."""
+        if self._shutdown:
+            self._current = self._controller
+            self._controller._wake()
+            return
+        thread._joiners.wake_all()
+        target = self._pick_next()
+        if target is None and self._fire_due_timers():
+            target = self._pick_next()
+        self._current = target if target is not None else self._controller
+        self._current._wake()
+
+    # -- introspection -----------------------------------------------------
+
+    def live_threads(self) -> Iterable[SimThread]:
+        return [t for t in self._threads if t.alive]

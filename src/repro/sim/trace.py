@@ -1,0 +1,89 @@
+"""Structured event tracing.
+
+A :class:`Trace` is a bounded, in-memory log of simulation events —
+syscalls, persona switches, IPC messages, scheduler decisions.  Tracing is
+off by default (the hot syscall path only pays a boolean test) and is
+enabled per-machine for debugging and for tests that assert on behaviour
+rather than timing, e.g. "exactly one persona switch happened per
+diplomatic call".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged event."""
+
+    timestamp_ns: float
+    category: str
+    name: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.timestamp_ns:14.0f}] {self.category}:{self.name} {extras}"
+
+
+class Trace:
+    """Bounded event log with per-category counters.
+
+    Counters are always maintained (they are cheap and power assertions
+    such as "N syscalls were dispatched through the XNU table"); full event
+    records are kept only while :attr:`enabled` is True.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.enabled = False
+        self._capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._counters: Dict[Tuple[str, str], int] = {}
+
+    def emit(
+        self,
+        clock_now_ns: float,
+        category: str,
+        name: str,
+        **detail: object,
+    ) -> None:
+        key = (category, name)
+        self._counters[key] = self._counters.get(key, 0) + 1
+        if self.enabled:
+            self._events.append(
+                TraceEvent(clock_now_ns, category, name, dict(detail))
+            )
+
+    def count(self, category: str, name: Optional[str] = None) -> int:
+        """Events counted for ``category`` (optionally a specific name)."""
+        if name is not None:
+            return self._counters.get((category, name), 0)
+        return sum(
+            n for (cat, _), n in self._counters.items() if cat == category
+        )
+
+    def events(
+        self, category: Optional[str] = None, name: Optional[str] = None
+    ) -> List[TraceEvent]:
+        """Logged events, optionally filtered (requires tracing enabled)."""
+        result = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if name is not None and event.name != name:
+                continue
+            result.append(event)
+        return result
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._counters.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(list(self._events))
+
+    def __len__(self) -> int:
+        return len(self._events)

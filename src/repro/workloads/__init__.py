@@ -1,0 +1,1 @@
+"""Workloads: lmbench and PassMark reimplementations plus the harness."""

@@ -1,0 +1,280 @@
+"""Evaluation harness: regenerates the paper's figures.
+
+Builds the four measured system configurations (paper §6):
+
+* ``android``       — Linux binaries / Android apps on vanilla Android;
+* ``cider_android`` — the same Linux binaries on a Cider kernel;
+* ``cider_ios``     — the Mach-O build on the Cider kernel;
+* ``ios``           — the Mach-O build on the iPad mini (XNU-native).
+
+and produces per-metric results normalised to vanilla Android, which is
+how Figures 5 and 6 are plotted.  ``float('nan')`` marks a measurement
+that failed (the iPad's select at 250 fds); ``None`` marks an impossible
+configuration (running ELF binaries on the iPad).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..cider.system import (
+    System,
+    build_cider,
+    build_ipad_mini,
+    build_vanilla_android,
+)
+from .lmbench import install_lmbench
+
+CONFIGS = ("android", "cider_android", "cider_ios", "ios")
+
+#: Figure 5 row order (groups 1-4).
+FIG5_METRICS = [
+    "int_mul",
+    "int_div",
+    "double_add",
+    "double_mul",
+    "bogomflops",
+    "null_syscall",
+    "read",
+    "write",
+    "open_close",
+    "signal",
+    "fork_exit",
+    "fork_exec_android",
+    "fork_exec_ios",
+    "fork_sh_android",
+    "fork_sh_ios",
+    "pipe",
+    "af_unix",
+    "select_10",
+    "select_100",
+    "select_250",
+    "file_0k",
+    "file_10k",
+]
+
+#: Metrics impossible on vanilla Android are normalised against their
+#: android-child counterpart (paper: "intentionally unfair").
+_NORMALIZE_AGAINST = {
+    "fork_exec_ios": "fork_exec_android",
+    "fork_sh_ios": "fork_sh_android",
+}
+
+
+class FigureResult:
+    """raw ns + normalised values for one figure."""
+
+    def __init__(self, metrics: List[str]) -> None:
+        self.metrics = list(metrics)
+        self.raw: Dict[str, Dict[str, Optional[float]]] = {
+            config: {} for config in CONFIGS
+        }
+
+    def record(self, config: str, metric: str, value: Optional[float]):
+        self.raw[config][metric] = value
+
+    def normalized(self) -> Dict[str, Dict[str, Optional[float]]]:
+        base = self.raw["android"]
+        table: Dict[str, Dict[str, Optional[float]]] = {}
+        for metric in self.metrics:
+            base_metric = _NORMALIZE_AGAINST.get(metric, metric)
+            baseline = base.get(base_metric)
+            row: Dict[str, Optional[float]] = {}
+            for config in CONFIGS:
+                value = self.raw[config].get(metric)
+                if value is None or baseline in (None, 0):
+                    row[config] = None
+                elif isinstance(value, float) and math.isnan(value):
+                    row[config] = float("nan")
+                else:
+                    row[config] = value / baseline
+            table[metric] = row
+        return table
+
+    def format_table(self, title: str, higher_is_better: bool = False) -> str:
+        lines = [title]
+        direction = "higher" if higher_is_better else "lower"
+        lines.append(
+            f"(normalised to vanilla Android = 1.00; {direction} is better)"
+        )
+        header = f"{'metric':>20} " + " ".join(
+            f"{config:>14}" for config in CONFIGS
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for metric, row in self.normalized().items():
+            cells = []
+            for config in CONFIGS:
+                value = row[config]
+                if value is None:
+                    cells.append(f"{'n/a':>14}")
+                elif isinstance(value, float) and math.isnan(value):
+                    cells.append(f"{'FAILED':>14}")
+                else:
+                    cells.append(f"{value:>14.2f}")
+            lines.append(f"{metric:>20} " + " ".join(cells))
+        return "\n".join(lines)
+
+
+# -- Figure 5: lmbench ---------------------------------------------------------------
+
+
+def _run_lmbench_binary(
+    system: System, path: str, out: Dict, iters: int, **extra
+) -> None:
+    params = {"out": out, "iters": iters, **extra}
+    code = system.run_program(path, [path, params])
+    if code != 0:
+        raise RuntimeError(f"{path} exited with {code}")
+
+
+def _collect_lmbench(
+    system: System,
+    binary_format: str,
+    out: Dict[str, float],
+    iters: int,
+    android_hello: Optional[str],
+    ios_hello: Optional[str],
+    shell: str,
+) -> None:
+    paths = install_lmbench(system.kernel, binary_format)
+    simple = [
+        "ops",
+        "null_syscall",
+        "read",
+        "write",
+        "open_close",
+        "signal",
+        "fork_exit",
+        "pipe",
+        "af_unix",
+        "select",
+        "files",
+    ]
+    for name in simple:
+        _run_lmbench_binary(system, paths[name], out, iters)
+    variants = []
+    if android_hello is not None:
+        variants.append(("android", android_hello))
+    if ios_hello is not None:
+        variants.append(("ios", ios_hello))
+    for tag, child in variants:
+        sub: Dict[str, float] = {}
+        _run_lmbench_binary(
+            system, paths["fork_exec"], sub, iters, child=child
+        )
+        out[f"fork_exec_{tag}"] = sub["fork_exec"]
+        sub = {}
+        _run_lmbench_binary(
+            system, paths["fork_sh"], sub, iters, child=child, shell=shell
+        )
+        out[f"fork_sh_{tag}"] = sub["fork_sh"]
+
+
+class Fig5Runner:
+    """Regenerates Figure 5 (microbenchmark latencies)."""
+
+    def __init__(self, iters: int = 6) -> None:
+        self.iters = iters
+
+    def run(self) -> FigureResult:
+        result = FigureResult(FIG5_METRICS)
+
+        with build_vanilla_android() as system:
+            out: Dict[str, float] = {}
+            _collect_lmbench(
+                system,
+                "elf",
+                out,
+                self.iters,
+                android_hello="/system/bin/hello",
+                ios_hello=None,
+                shell="/system/bin/sh",
+            )
+            self._store(result, "android", out)
+
+        with build_cider() as system:
+            out = {}
+            _collect_lmbench(
+                system,
+                "elf",
+                out,
+                self.iters,
+                android_hello="/system/bin/hello",
+                ios_hello="/bin/hello-ios",
+                shell="/system/bin/sh",
+            )
+            self._store(result, "cider_android", out)
+
+        with build_cider() as system:
+            out = {}
+            _collect_lmbench(
+                system,
+                "macho",
+                out,
+                self.iters,
+                android_hello="/system/bin/hello",
+                ios_hello="/bin/hello-ios",
+                shell="/system/bin/sh",
+            )
+            self._store(result, "cider_ios", out)
+
+        with build_ipad_mini() as system:
+            out = {}
+            _collect_lmbench(
+                system,
+                "macho",
+                out,
+                self.iters,
+                android_hello=None,
+                ios_hello="/bin/hello-ios",
+                shell="/bin/sh-ios",
+            )
+            self._store(result, "ios", out)
+        return result
+
+    @staticmethod
+    def _store(result: FigureResult, config: str, out: Dict[str, float]):
+        for metric in FIG5_METRICS:
+            if metric in out:
+                result.record(config, metric, out[metric])
+
+
+def run_figure5(iters: int = 6) -> FigureResult:
+    return Fig5Runner(iters).run()
+
+
+# -- Figure 6: PassMark ------------------------------------------------------------
+
+
+class Fig6Runner:
+    """Regenerates Figure 6 (PassMark app throughput, ops/sec)."""
+
+    def run(self) -> FigureResult:
+        from .passmark import PASSMARK_TESTS, install_passmark
+
+        result = FigureResult(PASSMARK_TESTS)
+
+        def collect(system: System, which: str, config: str) -> None:
+            path = install_passmark(system.kernel, which)
+            out: Dict[str, float] = {}
+            code = system.run_program(path, [path, {"out": out}])
+            if code != 0:
+                raise RuntimeError(f"passmark exited with {code} on {config}")
+            for test, score in out.items():
+                result.record(config, test, score)
+
+        with build_vanilla_android() as system:
+            collect(system, "android", "android")
+        with build_cider() as system:
+            collect(system, "android", "cider_android")
+        with build_cider() as system:
+            collect(system, "ios", "cider_ios")
+        with build_ipad_mini() as system:
+            collect(system, "ios", "ios")
+        return result
+
+
+def run_figure6() -> FigureResult:
+    return Fig6Runner().run()

@@ -1,0 +1,7 @@
+"""Foreign (XNU) kernel source, imported into the domestic kernel via
+duct tape.  Zone rules: modules here reference only :mod:`repro.xnu.api`
+and the duct-tape zone — never the domestic kernel."""
+
+from .api import FOREIGN_API_SYMBOLS, XNUKernelAPI
+
+__all__ = ["FOREIGN_API_SYMBOLS", "XNUKernelAPI"]

@@ -1,0 +1,135 @@
+"""The XNU kernel programming interface (the *foreign kernel API*).
+
+Everything under :mod:`repro.xnu` is "unmodified foreign kernel source" in
+the paper's sense: it is written exclusively against this API — locks,
+allocation, wait/wakeup, queues, timers — exactly as XNU subsystem code is
+written against osfmk primitives.  The code never imports anything from
+the domestic kernel (:mod:`repro.kernel`); the duct-tape linker enforces
+that with symbol-zone checking and supplies an implementation of this
+surface (:class:`repro.ducttape.adapters.LinuxDuctTapeEnv`) when the
+subsystem is compiled into a domestic kernel.
+
+Simulation note: kernel C passes free functions the environment implicitly;
+Python passes the environment explicitly.  Every foreign subsystem takes an
+``xnu: XNUKernelAPI`` constructor argument and calls only its methods —
+the literal translation of "all external foreign symbols are mapped to
+appropriate domestic kernel symbols" (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class XNUKernelAPI:
+    """Abstract XNU osfmk/BSD kernel services used by foreign subsystems.
+
+    Method names follow the real XNU API (lck_mtx_*, kalloc, zalloc,
+    thread_block/thread_wakeup, queue primitives, assert_wait).
+    """
+
+    # -- locking (osfmk/kern/locks.h) --------------------------------------
+
+    def lck_mtx_alloc(self, name: str = "lck_mtx") -> object:
+        raise NotImplementedError
+
+    def lck_mtx_lock(self, mtx: object) -> None:
+        raise NotImplementedError
+
+    def lck_mtx_unlock(self, mtx: object) -> None:
+        raise NotImplementedError
+
+    def lck_spin_alloc(self, name: str = "lck_spin") -> object:
+        raise NotImplementedError
+
+    def lck_spin_lock(self, spin: object) -> None:
+        raise NotImplementedError
+
+    def lck_spin_unlock(self, spin: object) -> None:
+        raise NotImplementedError
+
+    # -- memory (osfmk/kern/kalloc.h, zalloc) --------------------------------
+
+    def kalloc(self, size: int) -> object:
+        raise NotImplementedError
+
+    def kfree(self, allocation: object) -> None:
+        raise NotImplementedError
+
+    def zinit(self, elem_size: int, name: str) -> object:
+        raise NotImplementedError
+
+    def zalloc(self, zone: object) -> object:
+        raise NotImplementedError
+
+    def zfree(self, zone: object, element: object) -> None:
+        raise NotImplementedError
+
+    # -- wait / wakeup (osfmk/kern/sched_prim.h) -------------------------------
+
+    def assert_wait(self, event: object) -> None:
+        """Declare intent to block on ``event`` (pre-block registration)."""
+        raise NotImplementedError
+
+    def thread_block(self, event: object) -> None:
+        """Block the current thread until ``thread_wakeup(event)``."""
+        raise NotImplementedError
+
+    def thread_block_timeout(self, event: object, timeout_ns: float) -> bool:
+        """Block with a deadline; True if woken, False on timeout."""
+        raise NotImplementedError
+
+    def thread_wakeup(self, event: object) -> None:
+        raise NotImplementedError
+
+    def thread_wakeup_one(self, event: object) -> None:
+        raise NotImplementedError
+
+    def current_thread(self) -> object:
+        """The foreign view of the current kernel thread."""
+        raise NotImplementedError
+
+    def current_task(self) -> object:
+        """The Mach task (process) of the current thread."""
+        raise NotImplementedError
+
+    # -- queues (osfmk/kern/queue.h) ---------------------------------------------
+
+    def queue_init(self) -> List[object]:
+        raise NotImplementedError
+
+    def enqueue_tail(self, queue: List[object], element: object) -> None:
+        raise NotImplementedError
+
+    def dequeue_head(self, queue: List[object]) -> Optional[object]:
+        raise NotImplementedError
+
+    def queue_empty(self, queue: List[object]) -> bool:
+        raise NotImplementedError
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def panic(self, message: str) -> None:
+        raise NotImplementedError
+
+    def kprintf(self, message: str) -> None:
+        raise NotImplementedError
+
+    # -- time ---------------------------------------------------------------------------
+
+    def mach_absolute_time(self) -> float:
+        raise NotImplementedError
+
+    def charge(self, cost_name: str, times: float = 1) -> None:
+        """Account simulated CPU work (the simulation's stand-in for the
+        instructions the foreign code would execute)."""
+        raise NotImplementedError
+
+
+#: Symbols the foreign zone exports / requires, used by the duct-tape
+#: linker for conflict detection (paper §4.2 step 2).
+FOREIGN_API_SYMBOLS = sorted(
+    name
+    for name in dir(XNUKernelAPI)
+    if not name.startswith("_")
+)

@@ -1,0 +1,92 @@
+"""XNU Mach semaphores — osfmk/kern/sync_sema.c.
+
+Counting semaphores exposed to user space through Mach traps
+(semaphore_create / signal / wait).  libdispatch and libSystem depend on
+them; they ride into the domestic kernel on the same duct-tape adaptation
+layer as Mach IPC ("an adaptation layer translating these APIs ... for
+one foreign subsystem will work for all subsystems", paper §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .api import XNUKernelAPI
+from .ipc import KERN_SUCCESS, KERN_INVALID_ARGUMENT, KERN_INVALID_NAME
+
+KERN_OPERATION_TIMED_OUT = 49
+
+
+class _Semaphore:
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self.waiters = 0
+        self.event = object()
+
+
+class SyncSema:
+    """The Mach semaphore subsystem instance."""
+
+    def __init__(self, xnu: XNUKernelAPI) -> None:
+        self.xnu = xnu
+        self._semas: Dict[int, _Semaphore] = {}
+        self._next_id = 0x2000
+
+    def semaphore_create(self, task: object, value: int = 0) -> Tuple[int, int]:
+        if value < 0:
+            return KERN_INVALID_ARGUMENT, 0
+        sema_id = self._next_id
+        self._next_id += 1
+        self._semas[sema_id] = _Semaphore(value)
+        return KERN_SUCCESS, sema_id
+
+    def semaphore_destroy(self, task: object, sema_id: int) -> int:
+        sema = self._semas.pop(sema_id, None)
+        if sema is None:
+            return KERN_INVALID_NAME
+        self.xnu.thread_wakeup(sema.event)
+        return KERN_SUCCESS
+
+    def semaphore_signal(self, task: object, sema_id: int) -> int:
+        sema = self._semas.get(sema_id)
+        if sema is None:
+            return KERN_INVALID_NAME
+        sema.value += 1
+        if sema.waiters:
+            self.xnu.thread_wakeup_one(sema.event)
+        return KERN_SUCCESS
+
+    def semaphore_signal_all(self, task: object, sema_id: int) -> int:
+        sema = self._semas.get(sema_id)
+        if sema is None:
+            return KERN_INVALID_NAME
+        sema.value += sema.waiters
+        self.xnu.thread_wakeup(sema.event)
+        return KERN_SUCCESS
+
+    def semaphore_wait(
+        self, task: object, sema_id: int, timeout_ns: Optional[float] = None
+    ) -> int:
+        sema = self._semas.get(sema_id)
+        if sema is None:
+            return KERN_INVALID_NAME
+        while sema.value <= 0:
+            sema.waiters += 1
+            if timeout_ns is not None:
+                woken = self.xnu.thread_block_timeout(sema.event, timeout_ns)
+                sema.waiters -= 1
+                if not woken:
+                    return KERN_OPERATION_TIMED_OUT
+            else:
+                self.xnu.thread_block(sema.event)
+                sema.waiters -= 1
+            if sema_id not in self._semas:
+                return KERN_INVALID_NAME  # destroyed while waiting
+        sema.value -= 1
+        return KERN_SUCCESS
+
+
+EXPORTS = {
+    "SyncSema": SyncSema,
+    "KERN_OPERATION_TIMED_OUT": KERN_OPERATION_TIMED_OUT,
+}

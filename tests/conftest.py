@@ -1,0 +1,12 @@
+"""Shared fixtures: booted systems under test."""
+
+import pytest
+
+from repro.cider.system import build_vanilla_android
+
+
+@pytest.fixture
+def vanilla():
+    system = build_vanilla_android()
+    yield system
+    system.shutdown()

@@ -1,0 +1,42 @@
+"""Shared test utilities."""
+
+from repro.binfmt import elf_executable, macho_executable
+
+_counter = [0]
+
+
+def run_elf(system, body, name=None, argv_extra=None):
+    """Run ``body(ctx)`` as the main of a fresh ELF process; returns its
+    return value."""
+    _counter[0] += 1
+    name = name or f"testprog{_counter[0]}"
+    holder = {}
+
+    def main(ctx, argv):
+        holder["result"] = body(ctx)
+        return 0
+
+    image = elf_executable(name, main)
+    path = f"/system/bin/{name}"
+    system.kernel.vfs.install_binary(path, image)
+    code = system.run_program(path, [path] + list(argv_extra or []))
+    assert code == 0, f"{name} exited with {code}"
+    return holder.get("result")
+
+
+def run_macho(system, body, name=None, argv_extra=None):
+    """Run ``body(ctx)`` as the main of a fresh Mach-O (iOS) process."""
+    _counter[0] += 1
+    name = name or f"iostest{_counter[0]}"
+    holder = {}
+
+    def main(ctx, argv):
+        holder["result"] = body(ctx)
+        return 0
+
+    image = macho_executable(name, main)
+    path = f"/bin/{name}"
+    system.kernel.vfs.install_binary(path, image)
+    code = system.run_program(path, [path] + list(argv_extra or []))
+    assert code == 0, f"{name} exited with {code}"
+    return holder.get("result")

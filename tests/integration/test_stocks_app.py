@@ -1,0 +1,57 @@
+"""The Stocks system app: UIKit + Mach IPC configd through the full
+launch chain (unencrypted system apps, paper §6.1)."""
+
+import pytest
+
+from repro.cider.installer import install_ipa
+from repro.cider.system import build_cider
+from repro.ios.sampleapps import stocks_ipa
+
+
+@pytest.fixture
+def device():
+    system = build_cider(with_framework=True)
+    yield system
+    system.shutdown()
+
+
+class TestStocks:
+    def test_installs_without_decryption(self, device):
+        """System apps such as Stocks ship unencrypted: no jailbroken
+        device needed in the pipeline."""
+        framework = device.android
+        installed = install_ipa(device, stocks_ipa(), framework)
+        framework.settle()
+        assert device.kernel.vfs.exists(installed.binary_path)
+
+    def test_renders_quotes_and_configd_data(self, device):
+        framework = device.android
+        install_ipa(device, stocks_ipa(), framework)
+        framework.settle()
+        framework.tap(100, 120)  # the Stocks shortcut
+        flat = framework.screenshot().replace("\n", "")
+        assert "Stocks" in flat
+        assert "AAPL" in flat
+        # The device model came from configd over Mach IPC, from inside a
+        # UIKit app launched through CiderPress.
+        assert "device: Cider" in flat
+
+    def test_coexists_with_other_ios_app(self, device):
+        from repro.cider.installer import decrypt_ipa
+        from repro.hw.profiles import iphone3gs
+        from repro.ios.sampleapps import calculator_ipa
+
+        framework = device.android
+        install_ipa(device, stocks_ipa(), framework)
+        install_ipa(
+            device, decrypt_ipa(calculator_ipa(True), iphone3gs()), framework
+        )
+        framework.settle()
+        framework.tap(100, 120)  # Stocks
+        framework.tap(400, 120)  # back on home? no: home first
+        framework.home()
+        framework.settle()
+        framework.tap(400, 120)  # Calculator (second cell)
+        names = {p.name for p in device.kernel.processes.live_processes()}
+        assert "Stocks" in names
+        assert "CalculatorPro" in names

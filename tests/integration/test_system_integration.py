@@ -1,0 +1,185 @@
+"""End-to-end system integration: the paper's §3 user experience.
+
+iOS apps are installed from .ipa files, launched from the Android home
+screen via CiderPress, driven with multi-touch, appear in recents, and
+coexist with Android apps on the same running device.
+"""
+
+import pytest
+
+from repro.android.framework import AndroidApp, Shortcut
+from repro.cider.installer import (
+    DecryptionError,
+    decrypt_ipa,
+    install_ipa,
+)
+from repro.cider.system import build_cider
+from repro.hw.profiles import iphone3gs, nexus7
+from repro.ios.sampleapps import calculator_ipa, papers_ipa, stocks_ipa
+
+
+@pytest.fixture
+def device():
+    system = build_cider(with_framework=True)
+    yield system
+    system.shutdown()
+
+
+def launch_calculator(system):
+    framework = system.android
+    package = decrypt_ipa(calculator_ipa(encrypted=True), iphone3gs())
+    install_ipa(system, package, framework)
+    framework.settle()
+    framework.tap(100, 120)  # the first home-screen cell
+    return framework
+
+
+class TestInstallPipeline:
+    def test_encrypted_ipa_needs_apple_device(self, device):
+        package = calculator_ipa(encrypted=True)
+        with pytest.raises(DecryptionError):
+            decrypt_ipa(package, nexus7())
+
+    def test_decrypt_on_jailbroken_iphone(self, device):
+        package = decrypt_ipa(calculator_ipa(encrypted=True), iphone3gs())
+        assert not package.encrypted
+
+    def test_unpack_creates_app_dir_and_files(self, device):
+        package = decrypt_ipa(calculator_ipa(encrypted=True), iphone3gs())
+        installed = install_ipa(device, package)
+        vfs = device.kernel.vfs
+        assert vfs.exists(installed.binary_path)
+        assert vfs.exists(f"{installed.app_dir}/Info.plist")
+        assert vfs.exists(f"{installed.app_dir}/Documents")
+
+    def test_encrypted_binary_installs_but_wont_launch(self, device):
+        installed = install_ipa(device, calculator_ipa(encrypted=True))
+        with pytest.raises(Exception) as err:
+            device.run_program(installed.binary_path)
+        assert "encrypted" in str(err.value)
+
+    def test_shortcut_points_to_ciderpress(self, device):
+        framework = device.android
+        package = decrypt_ipa(calculator_ipa(encrypted=True), iphone3gs())
+        install_ipa(device, package, framework)
+        device.machine.run()
+        launcher = framework.running["launcher"].app
+        assert len(launcher.shortcuts) == 1
+        shortcut = launcher.shortcuts[0]
+        assert shortcut.target.startswith("ciderpress:")
+        assert shortcut.icon == "="  # the iOS app's own icon
+
+    def test_system_app_ipa_is_unencrypted(self, device):
+        assert not stocks_ipa().encrypted
+
+
+class TestLaunchAndInput:
+    def test_tap_home_screen_launches_ios_app(self, device):
+        framework = launch_calculator(device)
+        assert framework.activity_manager.focused == "ciderpress:Calculator"
+        names = {p.name for p in device.kernel.processes.live_processes()}
+        assert "CalculatorPro" in names
+
+    def test_ios_frame_reaches_android_display(self, device):
+        framework = launch_calculator(device)
+        screenshot = framework.screenshot()
+        assert "iAd" in screenshot  # the banner rendered via diplomats
+
+    def test_touch_reaches_ios_app_through_the_whole_chain(self, device):
+        """touchscreen -> evdev -> InputManager -> CiderPress -> socket
+        -> eventpump -> Mach IPC -> UIKit gesture dispatch."""
+        framework = launch_calculator(device)
+        framework.tap(60, 190)  # the '7' key
+        flat = framework.screenshot().replace("\n", "")
+        assert "7" in flat
+        record = framework.running["ciderpress:Calculator"]
+        assert record.app.events_forwarded >= 2
+
+    def test_multiple_taps_accumulate(self, device):
+        framework = launch_calculator(device)
+        framework.tap(60, 190)  # 7
+        framework.tap(60, 190)  # 7
+        assert "77" in framework.screenshot().replace("\n", "")
+
+    def test_ios_and_android_apps_run_together(self, device):
+        """The headline: unmodified iOS and Android apps side by side."""
+        framework = launch_calculator(device)
+
+        taps = []
+
+        class NotesApp(AndroidApp):
+            name = "notes"
+            icon = "N"
+
+            def handle_touch(self, ctx, event):
+                if event.kind == "up":
+                    taps.append((event.x, event.y))
+
+            def render(self, ctx, canvas):
+                canvas.draw_text(ctx, 20, 10, "android notes")
+
+        framework.install_app("notes", NotesApp)
+        framework.start_app("notes")
+        framework.settle()
+        framework.tap(500, 500)
+        assert taps  # the Android app received input
+        names = {p.name for p in device.kernel.processes.live_processes()}
+        assert "CalculatorPro" in names  # the iOS app is still alive
+        assert "notes.app" in names
+
+
+class TestLifecycle:
+    def test_pause_proxied_to_ios_app(self, device):
+        framework = launch_calculator(device)
+        # Starting another app pauses the focused CiderPress instance.
+        framework.install_app("other", AndroidApp)
+        framework.start_app("other")
+        framework.settle()
+        record = framework.running.get("ciderpress:Calculator")
+        assert record.state == "paused"
+
+    def test_screenshot_appears_in_recents(self, device):
+        framework = launch_calculator(device)
+        framework.install_app("other", AndroidApp)
+        framework.start_app("other")
+        framework.settle()
+        recents = framework.activity_manager.recents
+        assert recents
+        assert recents[0]["name"] == "ciderpress:Calculator"
+        assert "iAd" in recents[0]["thumbnail"]
+
+    def test_stop_terminates_ios_process(self, device):
+        framework = launch_calculator(device)
+        ios_process = framework.running[
+            "ciderpress:Calculator"
+        ].app.ios_process
+        framework.stop_app("ciderpress:Calculator")
+        framework.settle()
+        assert not ios_process.alive
+
+
+class TestPapersApp:
+    def test_pan_and_pinch_gestures(self, device):
+        framework = device.android
+        package = decrypt_ipa(papers_ipa(encrypted=True), iphone3gs())
+        install_ipa(device, package, framework)
+        framework.settle()
+        framework.tap(100, 120)
+        assert framework.activity_manager.focused == "ciderpress:Papers"
+        before = framework.screenshot()
+        assert "Papers" in before.replace("\n", "")
+        # Pinch to zoom: status line reflects the new zoom level.
+        device.machine.touchscreen.pinch(400, 400, 40, 120)
+        framework.settle()
+        after = framework.screenshot().replace("\n", "")
+        assert "zoom" in after
+
+    def test_tap_highlights_text(self, device):
+        framework = device.android
+        package = decrypt_ipa(papers_ipa(encrypted=True), iphone3gs())
+        install_ipa(device, package, framework)
+        framework.settle()
+        framework.tap(100, 120)
+        framework.tap(300, 200)  # tap in the page: highlight line 0
+        flat = framework.screenshot().replace("\n", "")
+        assert "=" in flat  # highlight background

@@ -1,0 +1,486 @@
+"""Tests for the Dalvik VM: assembler, verifier, interpreter, costs."""
+
+import pytest
+
+from repro.android.dalvik import DalvikError, DalvikVM, assemble
+from repro.cider.system import build_vanilla_android
+
+from helpers import run_elf
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = build_vanilla_android()
+    yield system
+    system.shutdown()
+
+
+def run_dex(system, source, method, *args):
+    def body(ctx):
+        vm = DalvikVM(ctx, assemble("t.dex", source))
+        return vm.invoke(method, *args)
+
+    return run_elf(system, body)
+
+
+class TestAssembler:
+    def test_simple_method(self):
+        dex = assemble(
+            "t.dex",
+            """
+            .method answer
+            .registers 1
+                const v0, 42
+                return v0
+            .end method
+            """,
+        )
+        method = dex.method("answer")
+        assert method.registers == 1
+        assert len(method.code) == 2
+
+    def test_comments_and_blank_lines_ignored(self):
+        dex = assemble(
+            "t.dex",
+            """
+            # a comment
+            .method m
+            .registers 1
+
+                const v0, 1   # trailing comment
+                return v0
+            .end method
+            """,
+        )
+        assert len(dex.method("m").code) == 2
+
+    def test_labels_resolve(self):
+        dex = assemble(
+            "t.dex",
+            """
+            .method m
+            .registers 1
+                goto :end
+            :end
+                return-void
+            .end method
+            """,
+        )
+        assert dex.method("m").labels == {"end": 1}
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(DalvikError, match="unknown opcode"):
+            assemble("t.dex", ".method m\n.registers 1\nfly v0\n.end method")
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(DalvikError, match="out of range"):
+            assemble(
+                "t.dex",
+                ".method m\n.registers 1\nconst v5, 1\nreturn v5\n.end method",
+            )
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(DalvikError, match="undefined label"):
+            assemble(
+                "t.dex",
+                ".method m\n.registers 1\ngoto :nowhere\n.end method",
+            )
+
+    def test_unterminated_method_rejected(self):
+        with pytest.raises(DalvikError, match="unterminated"):
+            assemble("t.dex", ".method m\n.registers 1\nreturn-void\n")
+
+    def test_missing_method_lookup(self):
+        dex = assemble("t.dex", ".method m\n.registers 1\nreturn-void\n.end method")
+        with pytest.raises(DalvikError):
+            dex.method("other")
+
+    def test_string_and_float_operands(self):
+        dex = assemble(
+            "t.dex",
+            '.method m\n.registers 2\nconst-string v0, "hi, there"\n'
+            "const v1, 2.5\nreturn v1\n.end method",
+        )
+        assert dex.method("m").code[0][2] == ("str", "hi, there")
+        assert dex.method("m").code[1][2] == ("imm", 2.5)
+
+
+class TestInterpreter:
+    def test_arithmetic(self, system):
+        source = """
+        .method calc
+        .registers 4
+            const v1, 6
+            const v2, 7
+            mul-int v0, v1, v2
+            return v0
+        .end method
+        """
+        assert run_dex(system, source, "calc") == 42
+
+    def test_division_semantics_truncate_toward_zero(self, system):
+        source = """
+        .method div
+        .registers 3
+            div-int v0, v1, v2
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            # Register 0 is overwritten; args land in v0.. so use a
+            # wrapper: invoke with all three registers set via args.
+            return (
+                vm.invoke("div", 0, 7, 2),
+                vm.invoke("div", 0, -7, 2),
+            )
+
+        assert run_elf(system, body) == (3, -3)
+
+    def test_division_by_zero_raises(self, system):
+        source = """
+        .method div
+        .registers 3
+            div-int v0, v1, v2
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            try:
+                vm.invoke("div", 0, 1, 0)
+            except DalvikError as err:
+                return str(err)
+            return "no error"
+
+        assert "zero" in run_elf(system, body)
+
+    def test_loop_with_branches(self, system):
+        source = """
+        .method sum_to_n
+        .registers 3
+            const v1, 0
+            const v2, 1
+        :loop
+            if-eqz v0, :done
+            add-int v1, v1, v0
+            sub-int v0, v0, v2
+            goto :loop
+        :done
+            return v1
+        .end method
+        """
+        assert run_dex(system, source, "sum_to_n", 10) == 55
+
+    def test_arrays(self, system):
+        source = """
+        .method rev_sum
+        .registers 8
+            const v1, 4
+            new-array v2, v1
+            const v3, 0
+            const v4, 1
+        :fill
+            if-ge v3, v1, :sum
+            mul-int v5, v3, v3
+            aput v5, v2, v3
+            add-int v3, v3, v4
+            goto :fill
+        :sum
+            const v6, 0
+            const v3, 0
+        :add
+            if-ge v3, v1, :done
+            aget v5, v2, v3
+            add-int v6, v6, v5
+            add-int v3, v3, v4
+            goto :add
+        :done
+            array-length v7, v2
+            add-int v6, v6, v7
+            return v6
+        .end method
+        """
+        # 0+1+4+9 + len(4) = 18
+        assert run_dex(system, source, "rev_sum") == 18
+
+    def test_invoke_dex_method(self, system):
+        source = """
+        .method twice
+        .registers 2
+            const v1, 2
+            mul-int v0, v0, v1
+            return v0
+        .end method
+        .method main
+        .registers 2
+            invoke-native v1, "twice", v0
+            invoke-native v1, "twice", v1
+            return v1
+        .end method
+        """
+        assert run_dex(system, source, "main", 5) == 20
+
+    def test_invoke_native_bridge(self, system):
+        source = """
+        .method main
+        .registers 2
+            invoke-native v1, "host_add_one", v0
+            return v1
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            vm.register_native("host_add_one", lambda nctx, x: x + 1)
+            return vm.invoke("main", 41)
+
+        assert run_elf(system, body) == 42
+
+    def test_unresolved_method_raises(self, system):
+        source = """
+        .method main
+        .registers 2
+            invoke-native v1, "ghost", v0
+            return v1
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            try:
+                vm.invoke("main", 1)
+            except DalvikError as err:
+                return "unresolved" in str(err)
+            return False
+
+        assert run_elf(system, body)
+
+    def test_recursion_depth_limit(self, system):
+        source = """
+        .method forever
+        .registers 2
+            invoke-native v1, "forever", v0
+            return v1
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            try:
+                vm.invoke("forever", 0)
+            except DalvikError as err:
+                return "overflow" in str(err)
+            return False
+
+        assert run_elf(system, body)
+
+
+class TestInterpretationCost:
+    def test_every_instruction_charges_dispatch(self, system):
+        source = """
+        .method spin
+        .registers 2
+            const v1, 1
+        :loop
+            if-eqz v0, :done
+            sub-int v0, v0, v1
+            goto :loop
+        :done
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            watch = ctx.machine.stopwatch()
+            vm.invoke("spin", 100)
+            elapsed = watch.elapsed_ns()
+            return elapsed, vm.instructions_retired
+
+        elapsed, retired = run_elf(system, body)
+        dispatch = system.machine.costs["dalvik_dispatch"]
+        assert retired == 2 + 100 * 3 + 1
+        assert elapsed >= retired * dispatch
+
+    def test_interpreted_slower_than_native_equivalent(self, system):
+        """The mechanism behind Fig. 6's CPU results."""
+        source = """
+        .method work
+        .registers 3
+            const v1, 1
+            const v2, 3
+        :loop
+            if-eqz v0, :done
+            mul-int v2, v2, v2
+            sub-int v0, v0, v1
+            goto :loop
+        :done
+            return v2
+        .end method
+        """
+
+        def interpreted(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            watch = ctx.machine.stopwatch()
+            vm.invoke("work", 200)
+            return watch.elapsed_ns()
+
+        def native(ctx):
+            watch = ctx.machine.stopwatch()
+            ctx.op("op_int_mul", 200)
+            ctx.op("op_int_add", 200)
+            return watch.elapsed_ns()
+
+        dalvik_ns = run_elf(system, interpreted)
+        native_ns = run_elf(system, native)
+        assert dalvik_ns > native_ns * 5
+
+    def test_determinism(self, system):
+        source = """
+        .method m
+        .registers 2
+            const v1, 3
+            mul-int v0, v0, v1
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            t0 = ctx.machine.stopwatch()
+            vm.invoke("m", 2)
+            first = t0.elapsed_ns()
+            t1 = ctx.machine.stopwatch()
+            vm.invoke("m", 2)
+            second = t1.elapsed_ns()
+            return first, second
+
+        first, second = run_elf(system, body)
+        assert first == second
+
+
+class TestMoreOpcodes:
+    def test_rem_int(self, system):
+        source = """
+        .method rem
+        .registers 3
+            rem-int v0, v1, v2
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return (
+                vm.invoke("rem", 0, 7, 3),
+                vm.invoke("rem", 0, -7, 3),  # truncated division semantics
+            )
+
+        assert run_elf(system, body) == (1, -1)
+
+    def test_bitwise_ops(self, system):
+        source = """
+        .method bits
+        .registers 4
+            and-int v0, v1, v2
+            or-int v3, v1, v2
+            xor-int v1, v1, v2
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return vm.invoke("bits", 0, 0b1100, 0b1010)
+
+        assert run_elf(system, body) == 0b1000
+
+    def test_shifts(self, system):
+        source = """
+        .method shl
+        .registers 3
+            shl-int v0, v1, v2
+            return v0
+        .end method
+        .method shr
+        .registers 3
+            shr-int v0, v1, v2
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return vm.invoke("shl", 0, 3, 4), vm.invoke("shr", 0, 256, 4)
+
+        assert run_elf(system, body) == (48, 16)
+
+    def test_shl_wraps_at_32_bits(self, system):
+        source = """
+        .method shl
+        .registers 3
+            shl-int v0, v1, v2
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return vm.invoke("shl", 0, 1, 31)
+
+        # 1 << 31 is INT_MIN in 32-bit two's complement.
+        assert run_elf(system, body) == -(2**31)
+
+    def test_cmp_tri_state(self, system):
+        source = """
+        .method cmp3
+        .registers 4
+            cmp v0, v1, v2
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return (
+                vm.invoke("cmp3", 0, 1, 2),
+                vm.invoke("cmp3", 0, 2, 2),
+                vm.invoke("cmp3", 0, 3, 2),
+            )
+
+        assert run_elf(system, body) == (-1, 0, 1)
+
+    def test_double_arithmetic(self, system):
+        source = """
+        .method davg
+        .registers 5
+            add-double v0, v1, v2
+            const v3, 0.5
+            mul-double v0, v0, v3
+            return v0
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return vm.invoke("davg", 0.0, 1.5, 2.5)
+
+        assert run_elf(system, body) == 2.0
+
+    def test_nop_and_return_void(self, system):
+        source = """
+        .method noop
+        .registers 1
+            nop
+            return-void
+        .end method
+        """
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return vm.invoke("noop")
+
+        assert run_elf(system, body) is None

@@ -1,0 +1,160 @@
+"""Tests for the Android framework: services, lifecycle, input routing."""
+
+import pytest
+
+from repro.android.framework import AndroidApp, Launcher, Shortcut
+from repro.cider.system import build_vanilla_android
+
+
+@pytest.fixture
+def device():
+    system = build_vanilla_android(with_framework=True)
+    yield system
+    system.shutdown()
+
+
+class RecordingApp(AndroidApp):
+    name = "recorder"
+    icon = "R"
+
+    def __init__(self):
+        self.events = []
+        self.lifecycle = []
+
+    def on_create(self, ctx, controller):
+        self.lifecycle.append("create")
+
+    def on_pause(self, ctx):
+        self.lifecycle.append("pause")
+
+    def on_resume(self, ctx):
+        self.lifecycle.append("resume")
+
+    def on_stop(self, ctx):
+        self.lifecycle.append("stop")
+
+    def handle_touch(self, ctx, event):
+        self.events.append((event.kind, event.x, event.y))
+
+    def render(self, ctx, canvas):
+        canvas.draw_text(ctx, 10, 10, "recorder")
+
+
+class TestBoot:
+    def test_system_server_and_launcher_running(self, device):
+        framework = device.android
+        assert framework.system_server.alive
+        assert framework.activity_manager.focused == "launcher"
+        assert "launcher" in framework.running
+
+    def test_launcher_renders_home_screen(self, device):
+        assert "Android" in device.android.screenshot()
+
+
+class TestAppLifecycle:
+    def test_start_app_creates_process_and_surface(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        record = framework.start_app("recorder")
+        framework.settle()
+        assert record.process.alive
+        assert record.surface is not None
+        assert record.app.lifecycle == ["create"]
+        assert framework.activity_manager.focused == "recorder"
+
+    def test_unknown_app_rejected(self, device):
+        with pytest.raises(KeyError):
+            device.android.start_app("ghost")
+
+    def test_starting_second_app_pauses_first(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        first = framework.start_app("recorder")
+        framework.settle()
+        framework.install_app("second", AndroidApp)
+        framework.start_app("second")
+        framework.settle()
+        assert "pause" in first.app.lifecycle
+        assert first.state == "paused"
+
+    def test_stop_app_runs_on_stop_and_reaps(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        record = framework.start_app("recorder")
+        framework.settle()
+        app = record.app
+        framework.stop_app("recorder")
+        framework.settle()
+        assert "stop" in app.lifecycle
+        assert "recorder" not in framework.running
+
+    def test_recents_records_thumbnail(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        framework.start_app("recorder")
+        framework.settle()
+        framework.install_app("second", AndroidApp)
+        framework.start_app("second")
+        framework.settle()
+        recents = framework.activity_manager.recents
+        assert recents[0]["name"] == "recorder"
+        assert "recorder" in recents[0]["thumbnail"]
+
+
+class TestInputRouting:
+    def test_touch_routed_to_focused_app(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        record = framework.start_app("recorder")
+        framework.settle()
+        framework.tap(123, 456)
+        assert ("down", 123, 456) in record.app.events
+        assert ("up", 123, 456) in record.app.events
+
+    def test_unfocused_app_gets_nothing(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        record = framework.start_app("recorder")
+        framework.settle()
+        framework.install_app("recorder2", RecordingApp)
+        record2 = framework.start_app("recorder2")
+        framework.settle()
+        framework.tap(50, 50)
+        assert record2.app.events
+        assert not record.app.events
+
+    def test_input_manager_counts_events(self, device):
+        framework = device.android
+        before = framework.input_manager.events_routed
+        framework.tap(10, 10)
+        assert framework.input_manager.events_routed == before + 2
+
+
+class TestLauncherGrid:
+    def test_shortcut_cell_mapping(self):
+        launcher = Launcher()
+        for index in range(6):
+            launcher.shortcuts.append(Shortcut(f"s{index}", "#", f"t{index}"))
+        # Cell 0 is at (0..300, 60..240); cell 5 is row 1, col 1.
+        assert launcher._cell_at(100, 120).label == "s0"
+        assert launcher._cell_at(350, 120).label == "s1"
+        assert launcher._cell_at(400, 300).label == "s5"
+        assert launcher._cell_at(1200, 700) is None
+
+    def test_tap_on_shortcut_requests_launch(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        launcher = framework.running["launcher"].app
+        launcher.add_shortcut(Shortcut("Recorder", "R", "recorder"))
+        framework.settle()
+        framework.tap(100, 120)
+        assert framework.activity_manager.focused == "recorder"
+
+    def test_home_returns_focus_to_launcher(self, device):
+        framework = device.android
+        framework.install_app("recorder", RecordingApp)
+        framework.start_app("recorder")
+        framework.settle()
+        framework.home()
+        framework.settle()
+        assert framework.activity_manager.focused == "launcher"

@@ -1,0 +1,208 @@
+"""Tests for the Android graphics stack: GLES, EGL, SurfaceFlinger,
+gralloc, the EAGL bridge."""
+
+import pytest
+
+from repro.android import egl, gles
+from repro.android.eglbridge import (
+    eaglbridge_create_context,
+    eaglbridge_create_window,
+    eaglbridge_present,
+    eaglbridge_set_current,
+    eaglbridge_storage_from_drawable,
+)
+from repro.android.gralloc import gralloc_alloc, gralloc_lock, gralloc_lookup
+from repro.cider.system import build_vanilla_android
+
+from helpers import run_elf
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = build_vanilla_android()
+    yield system
+    system.shutdown()
+
+
+class TestGralloc:
+    def test_alloc_and_lookup_by_id(self, system):
+        def body(ctx):
+            buffer = gralloc_alloc(ctx, 128, 64)
+            found = gralloc_lookup(ctx, buffer.buffer_id)
+            return buffer is found, buffer.size_bytes
+
+        same, size = run_elf(system, body)
+        assert same
+        assert size == 128 * 64 * 4
+
+    def test_alloc_charges(self, system):
+        def body(ctx):
+            before = ctx.machine.now_ns
+            gralloc_alloc(ctx, 16, 16)
+            return ctx.machine.now_ns - before
+
+        assert run_elf(system, body) >= system.machine.costs["gralloc_alloc"]
+
+
+class TestGLES:
+    def test_draw_accumulates_commands_until_flush(self, system):
+        def body(ctx):
+            context = gles.GLContext()
+            gles.make_current(ctx, context)
+            gles.glDrawArrays(ctx, gles.GL_TRIANGLES, 0, 300)
+            pending_before = len(context.pending)
+            submitted_before = ctx.machine.gpu.commands_executed
+            gles.glFlush(ctx)
+            return (
+                pending_before,
+                len(context.pending),
+                ctx.machine.gpu.commands_executed - submitted_before,
+            )
+
+        pending, after, executed = run_elf(system, body)
+        assert pending == 1
+        assert after == 0
+        assert executed == 1
+
+    def test_vertices_reach_gpu(self, system):
+        def body(ctx):
+            context = gles.GLContext()
+            gles.make_current(ctx, context)
+            before = ctx.machine.gpu.vertices_processed
+            gles.glDrawArrays(ctx, gles.GL_TRIANGLES, 0, 123)
+            gles.glFinish(ctx)
+            return ctx.machine.gpu.vertices_processed - before
+
+        assert run_elf(system, body) == 123
+
+    def test_no_context_is_an_error(self, system):
+        def body(ctx):
+            gles.make_current(ctx, None)
+            try:
+                gles.glClear(ctx, gles.GL_COLOR_BUFFER_BIT)
+            except gles.GLNoContextError:
+                return True
+            return False
+
+        assert run_elf(system, body)
+
+    def test_gl_calls_charge_cpu(self, system):
+        def body(ctx):
+            context = gles.GLContext()
+            gles.make_current(ctx, context)
+            watch = ctx.machine.stopwatch()
+            for _ in range(10):
+                gles.glViewport(ctx, 0, 0, 100, 100)
+            return watch.elapsed_ns()
+
+        assert run_elf(system, body) == 10 * system.machine.costs["gl_call_cpu"]
+
+    def test_object_id_allocation(self, system):
+        def body(ctx):
+            context = gles.GLContext()
+            gles.make_current(ctx, context)
+            textures = gles.glGenTextures(ctx, 3)
+            buffers = gles.glGenBuffers(ctx, 2)
+            return textures, buffers
+
+        textures, buffers = run_elf(system, body)
+        assert len(textures) == 3
+        assert len(set(textures) | set(buffers)) == 5
+
+    def test_fence_lifecycle(self, system):
+        def body(ctx):
+            context = gles.GLContext()
+            gles.make_current(ctx, context)
+            fence = gles.glFenceSync(ctx)
+            signalled_before_flush = fence.signalled
+            gles.glClientWaitSync(ctx, fence)
+            return signalled_before_flush, fence.signalled
+
+        before, after = run_elf(system, body)
+        assert not before  # only the GPU signals it
+        assert after
+
+    def test_exports_cover_standard_api(self):
+        exports = gles.gles_exports()
+        for required in (
+            "glClear",
+            "glDrawArrays",
+            "glTexImage2D",
+            "glUseProgram",
+            "glFenceSync",
+            "glClientWaitSync",
+        ):
+            assert required in exports
+
+
+class TestEGLAndSurfaceFlinger:
+    def test_swap_posts_to_display(self, system):
+        def body(ctx):
+            display = egl.eglGetDisplay(ctx)
+            flinger = ctx.machine.surfaceflinger
+            window = flinger.create_surface("t", 400, 300, 1)
+            surface = egl.eglCreateWindowSurface(ctx, display, window)
+            context = egl.eglCreateContext(ctx, display)
+            egl.eglMakeCurrent(ctx, display, surface, context)
+            frames_before = ctx.machine.display.frames_posted
+            gles.glClear(ctx, gles.GL_COLOR_BUFFER_BIT)
+            egl.eglSwapBuffers(ctx, display, surface)
+            return ctx.machine.display.frames_posted - frames_before
+
+        assert run_elf(system, body) == 1
+
+    def test_composition_z_order(self, system):
+        def body(ctx):
+            flinger = ctx.machine.surfaceflinger
+            back = flinger.create_surface("back", 400, 300, z_order=1)
+            front = flinger.create_surface("front", 400, 300, z_order=2)
+            back.lock_back().fill_rect(0, 0, 400, 300, "B")
+            back.post()
+            front.lock_back().fill_rect(0, 0, 400, 300, "F")
+            front.post()
+            shot = ctx.machine.display.front_buffer.cell_at(10, 10)
+            flinger.destroy_surface(back)
+            flinger.destroy_surface(front)
+            return shot
+
+        assert run_elf(system, body) == "F"
+
+    def test_destroy_removes_from_composition(self, system):
+        def body(ctx):
+            flinger = ctx.machine.surfaceflinger
+            surface = flinger.create_surface("temp", 400, 300, z_order=3)
+            surface.lock_back().fill_rect(0, 0, 400, 300, "T")
+            surface.post()
+            flinger.destroy_surface(surface)
+            return ctx.machine.display.front_buffer.cell_at(10, 10)
+
+        assert run_elf(system, body) != "T"
+
+
+class TestEAGLBridge:
+    def test_full_eagl_cycle_over_android_stack(self, system):
+        """libEGLbridge provides the missing EAGL functions using libEGL
+        and SurfaceFlinger (paper §5.3)."""
+
+        def body(ctx):
+            bridge = eaglbridge_create_context(ctx)
+            window = eaglbridge_create_window(ctx, "eagl-test", 400, 300)
+            eaglbridge_set_current(ctx, bridge)
+            eaglbridge_storage_from_drawable(ctx, bridge, window)
+            gles.glClear(ctx, gles.GL_COLOR_BUFFER_BIT)
+            gles.glDrawArrays(ctx, gles.GL_TRIANGLES, 0, 30)
+            frames_before = ctx.machine.display.frames_posted
+            ok = eaglbridge_present(ctx, bridge)
+            return ok, ctx.machine.display.frames_posted - frames_before
+
+        ok, frames = run_elf(system, body)
+        assert ok
+        assert frames == 1
+
+    def test_present_without_drawable_fails(self, system):
+        def body(ctx):
+            bridge = eaglbridge_create_context(ctx)
+            eaglbridge_set_current(ctx, bridge)
+            return eaglbridge_present(ctx, bridge)
+
+        assert run_elf(system, body) is False

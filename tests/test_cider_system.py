@@ -1,0 +1,201 @@
+"""Tests for the system builders and overall configuration integrity."""
+
+import pytest
+
+from repro.binfmt import BinaryFormat
+from repro.cider.fs_overlay import IOS_OVERLAY_DIRS, overlay_present
+from repro.cider.system import build_cider, build_ipad_mini, build_vanilla_android
+from repro.ios.frameworks import TARGET_LIBRARY_COUNT, TARGET_TOTAL_MB
+
+
+class TestVanillaAndroid:
+    def test_shape(self):
+        with build_vanilla_android() as system:
+            kernel = system.kernel
+            assert system.label == "vanilla-android"
+            assert kernel.personas.names() == ["android"]
+            assert kernel.loaders.formats() == [BinaryFormat.ELF]
+            assert not kernel.cider_enabled
+            assert kernel.mach_subsystem is None
+            assert kernel.iokit is None
+
+    def test_no_ios_overlay(self):
+        with build_vanilla_android() as system:
+            assert not overlay_present(system.kernel)
+
+
+class TestCider:
+    def test_shape(self):
+        with build_cider() as system:
+            kernel = system.kernel
+            assert kernel.cider_enabled
+            assert kernel.personas.names() == ["android", "ios"]
+            assert kernel.loaders.formats() == [
+                BinaryFormat.ELF,
+                BinaryFormat.MACHO,
+            ]
+            assert kernel.mach_subsystem is not None
+            assert kernel.psynch_subsystem is not None
+            assert kernel.iokit is not None
+            assert kernel.signal_translator is not None
+
+    def test_default_persona_stays_android(self):
+        """Cider augments the domestic OS; Android remains the default."""
+        with build_cider() as system:
+            assert system.kernel.personas.default.name == "android"
+
+    def test_overlay_complete(self):
+        with build_cider() as system:
+            assert overlay_present(system.kernel)
+            for path in IOS_OVERLAY_DIRS:
+                assert system.kernel.vfs.exists(path)
+
+    def test_framework_closure_size(self):
+        """~115 libraries / ~90MB, the numbers behind §6.2."""
+        with build_cider() as system:
+            vfs = system.kernel.vfs
+            images = []
+            for root in ("/usr/lib", "/System/Library"):
+                for path in vfs.walk(root):
+                    node = vfs.resolve(path)
+                    image = getattr(node, "binary_image", None)
+                    if image is not None and image.format is BinaryFormat.MACHO:
+                        images.append(image)
+            total_mb = sum(i.vm_size_bytes for i in images) / (1 << 20)
+            assert len(images) >= TARGET_LIBRARY_COUNT
+            assert total_mb == pytest.approx(TARGET_TOTAL_MB, rel=0.12)
+
+    def test_config_toggles_recorded(self):
+        with build_cider(fence_bug=False, shared_cache=True) as system:
+            assert system.kernel.cider_config == {
+                "fence_bug": False,
+                "shared_cache": True,
+            }
+
+    def test_android_binaries_still_run(self):
+        with build_cider() as system:
+            assert system.run_program("/system/bin/hello") == 0
+
+    def test_context_manager_shuts_down(self):
+        with build_cider() as system:
+            machine = system.machine
+        assert list(machine.scheduler.live_threads()) == []
+
+
+class TestIpadMini:
+    def test_shape(self):
+        with build_ipad_mini() as system:
+            kernel = system.kernel
+            assert not kernel.cider_enabled  # XNU-native: no persona check
+            assert kernel.personas.names() == ["ios"]
+            assert kernel.personas.default.name == "ios"
+            assert kernel.loaders.formats() == [BinaryFormat.MACHO]
+            assert kernel.mach_subsystem is not None
+
+    def test_elf_rejected(self):
+        """Android binaries cannot run on the iPad — the mirror image of
+        vanilla Android rejecting Mach-O."""
+        from repro.binfmt import elf_executable
+
+        with build_ipad_mini() as system:
+            image = elf_executable("android-app", lambda ctx, argv: 0)
+            system.kernel.vfs.install_binary("/data/android-app", image)
+            with pytest.raises(Exception) as err:
+                system.run_program("/data/android-app")
+            assert "binfmt" in str(err.value) or "ENOEXEC" in str(err.value)
+
+    def test_runs_same_foreign_kernel_source(self):
+        """The duct-taped subsystems are the *same modules* on both
+        kernels — the unmodified-source property."""
+        with build_cider() as cider, build_ipad_mini() as ipad:
+            assert type(cider.kernel.mach_subsystem) is type(
+                ipad.kernel.mach_subsystem
+            )
+            assert type(cider.kernel.psynch_subsystem) is type(
+                ipad.kernel.psynch_subsystem
+            )
+
+    def test_ios_binary_runs(self):
+        with build_ipad_mini() as system:
+            assert system.run_program("/bin/hello-ios") == 0
+
+
+class TestDeterminism:
+    def test_same_workload_same_virtual_time(self):
+        def measure():
+            with build_cider() as system:
+                watch = system.machine.stopwatch()
+                system.run_program("/bin/hello-ios")
+                return watch.elapsed_ns()
+
+        assert measure() == measure()
+
+    def test_figure_runs_are_reproducible(self):
+        from repro.workloads.lmbench import install_lmbench
+
+        def one():
+            with build_cider() as system:
+                paths = install_lmbench(system.kernel, "macho")
+                out = {}
+                system.run_program(
+                    paths["fork_exit"],
+                    [paths["fork_exit"], {"out": out, "iters": 2}],
+                )
+                return out["fork_exit"]
+
+        assert one() == one()
+
+
+class TestArgvAndAPI:
+    def test_argv_reaches_main(self):
+        from repro.binfmt import elf_executable
+
+        with build_vanilla_android() as system:
+            seen = {}
+
+            def main(ctx, argv):
+                seen["argv"] = list(argv)
+                return 0
+
+            image = elf_executable("argv-test", main)
+            system.kernel.vfs.install_binary("/system/bin/argv-test", image)
+            system.run_program(
+                "/system/bin/argv-test", ["argv-test", "--flag", "value"]
+            )
+            assert seen["argv"] == ["argv-test", "--flag", "value"]
+
+    def test_posix_spawn_argv_propagates(self):
+        from repro.binfmt import macho_executable
+
+        with build_cider() as system:
+            seen = {}
+
+            def child_main(ctx, argv):
+                seen["argv"] = list(argv)
+                return 0
+
+            child = macho_executable("spawn-child", child_main)
+            system.kernel.vfs.install_binary("/bin/spawn-child", child)
+
+            def parent_main(ctx, argv):
+                libc = ctx.libc
+                pid = libc.posix_spawn(
+                    "/bin/spawn-child", ["/bin/spawn-child", "-x"]
+                )
+                libc.waitpid(pid)
+                return 0
+
+            parent = macho_executable("spawn-parent", parent_main)
+            system.kernel.vfs.install_binary("/bin/spawn-parent", parent)
+            system.run_program("/bin/spawn-parent")
+            assert seen["argv"] == ["/bin/spawn-child", "-x"]
+
+    def test_top_level_package_exports(self):
+        import repro
+
+        assert callable(repro.build_cider)
+        assert callable(repro.build_vanilla_android)
+        assert callable(repro.build_ipad_mini)
+        from repro.cider import IpaPackage, decrypt_ipa, install_ipa
+
+        assert IpaPackage is not None

@@ -1,0 +1,248 @@
+"""Tests for the XNU kernel ABI on Linux: trap classes, conventions,
+syscall translation, personas."""
+
+import pytest
+
+from repro.compat import xnu_abi
+from repro.compat.xnu_abi import XNUABI
+from repro.cider.system import build_cider, build_ipad_mini, build_vanilla_android
+from repro.kernel import errno as E
+
+from helpers import run_elf, run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestTrapClasses:
+    """Paper §4.1: iOS apps trap into the kernel in four different ways."""
+
+    def test_four_classes_exist(self):
+        abi = XNUABI()
+        classes = {
+            abi.classify_trap(xnu_abi.SYS_getpid),
+            abi.classify_trap(xnu_abi.TRAP_mach_msg),
+            abi.classify_trap(xnu_abi.MACHDEP_set_cthread_self),
+            abi.classify_trap(xnu_abi.DIAG_kdebug_trace),
+        }
+        assert classes == {"unix", "mach", "machdep", "diag"}
+
+    def test_mach_traps_are_negative(self):
+        assert xnu_abi.TRAP_mach_msg < 0
+        assert XNUABI().classify_trap(-31) == "mach"
+
+    def test_diag_trap_works(self, cider):
+        def body(ctx):
+            return ctx.libc.kdebug_trace(1, 2, 3)
+
+        assert run_macho(cider, body) == 0
+
+    def test_machdep_tls_traps(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            libc.set_cthread_self(0xCAFE)
+            return libc.get_cthread_self()
+
+        assert run_macho(cider, body) == 0xCAFE
+
+
+class TestErrorConvention:
+    def test_carry_flag_on_failure(self, cider):
+        """XNU returns errors via CPU flags, not negative values."""
+
+        def body(ctx):
+            value, carry = ctx.thread.trap(xnu_abi.SYS_open, "/nonexistent", 0)
+            return value, carry
+
+        value, carry = run_macho(cider, body)
+        assert carry is True
+        assert value == E.ENOENT  # positive errno, not -ENOENT
+
+    def test_no_carry_on_success(self, cider):
+        def body(ctx):
+            return ctx.thread.trap(xnu_abi.SYS_getpid)
+
+        value, carry = run_macho(cider, body)
+        assert carry is False
+        assert value > 0
+
+    def test_libsystem_decodes_into_ios_tls_errno(self, cider):
+        def body(ctx):
+            result = ctx.libc.open("/nonexistent")
+            return result, ctx.libc.errno, ctx.thread.tls().layout.name
+
+        result, errno, layout = run_macho(cider, body)
+        assert result == -1
+        assert errno == E.ENOENT
+        assert layout == "ios"
+
+
+class TestBSDWrappers:
+    def test_xnu_syscall_numbers_differ_from_linux(self):
+        from repro.kernel import syscalls_linux as linux
+
+        # getppid: 64 on Linux/ARM, 39 on XNU — the dispatch tables are
+        # genuinely different (paper: "one or more syscall dispatch
+        # tables for each persona").
+        assert linux.NR_getppid == 64
+        assert xnu_abi.SYS_getppid == 39
+
+    def test_bsd_wrapper_calls_linux_implementation(self, cider):
+        def body(ctx):
+            return ctx.libc.getppid()
+
+        assert run_macho(cider, body) == 0
+
+    def test_file_io_via_xnu_abi(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            fd = libc.creat("/tmp/xnu-io")
+            libc.write(fd, b"from ios")
+            libc.close(fd)
+            fd = libc.open("/tmp/xnu-io")
+            data = libc.read(fd, 32)
+            libc.close(fd)
+            libc.unlink("/tmp/xnu-io")
+            return data
+
+        assert run_macho(cider, body) == b"from ios"
+
+    def test_posix_spawn_built_from_clone_exec(self, cider):
+        """Paper §4.1: posix_spawn leverages clone and exec."""
+
+        def body(ctx):
+            libc = ctx.libc
+            pid = libc.posix_spawn("/system/bin/hello")
+            result = libc.waitpid(pid)
+            return pid, result
+
+        pid, (reaped, code) = run_macho(cider, body)
+        assert reaped == pid
+        assert code == 0
+
+    def test_posix_spawn_cheaper_than_fork_for_ios(self, cider):
+        """posix_spawn skips the 90MB address-space copy and the atfork
+        storm — the reason it exists."""
+
+        def spawn_body(ctx):
+            watch = ctx.machine.stopwatch()
+            pid = ctx.libc.posix_spawn("/bin/hello-ios")
+            ctx.libc.waitpid(pid)
+            return watch.elapsed_ns()
+
+        def fork_exec_body(ctx):
+            watch = ctx.machine.stopwatch()
+
+            def child(cctx):
+                cctx.libc.execve("/bin/hello-ios")
+                return 127
+
+            pid = ctx.libc.fork(child)
+            ctx.libc.waitpid(pid)
+            return watch.elapsed_ns()
+
+        spawn_ns = run_macho(cider, spawn_body)
+        fork_ns = run_macho(cider, fork_exec_body)
+        assert spawn_ns < fork_ns
+
+
+class TestPersonaCosts:
+    def test_cider_kernel_pays_persona_check(self):
+        vanilla = build_vanilla_android()
+        cider = build_cider()
+        try:
+
+            def body(ctx):
+                libc = ctx.libc
+                watch = ctx.machine.stopwatch()
+                for _ in range(10):
+                    libc.getppid()
+                return watch.elapsed_ns() / 10
+
+            vanilla_ns = run_elf(vanilla, body)
+            cider_ns = run_elf(cider, body)
+            overhead = (cider_ns - vanilla_ns) / vanilla_ns
+            # Paper: 8.5% on the null syscall.
+            assert 0.06 < overhead < 0.12
+        finally:
+            vanilla.shutdown()
+            cider.shutdown()
+
+    def test_ios_binary_pays_translation(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            watch = ctx.machine.stopwatch()
+            for _ in range(10):
+                libc.getppid()
+            return watch.elapsed_ns() / 10
+
+        ios_ns = run_macho(cider, body)
+        android_ns = run_elf(cider, body)
+        overhead = (ios_ns - android_ns) / android_ns
+        # Paper: 40% (iOS) vs 8.5% (Linux binary) over vanilla => the
+        # iOS persona costs ~29% over the Cider-Android case.
+        assert 0.2 < overhead < 0.4
+
+
+class TestSelectQuirk:
+    def test_select_fails_at_250_fds_on_xnu_native(self):
+        """Paper: 'the test simply failed to complete for 250 file
+        descriptors' on the iPad mini."""
+        ipad = build_ipad_mini()
+        try:
+
+            def body(ctx):
+                libc = ctx.libc
+                fds = []
+                while len(fds) < 250:
+                    r, w = libc.pipe()
+                    fds.extend([r, w])
+                result = libc.select(fds[:250], [], 0)
+                return result, libc.errno
+
+            result, errno = run_macho(ipad, body)
+            assert result == -1
+            assert errno == E.EINVAL
+        finally:
+            ipad.shutdown()
+
+    def test_select_250_fine_on_cider(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            fds = []
+            while len(fds) < 250:
+                r, w = libc.pipe()
+                fds.extend([r, w])
+            return libc.select(fds[:250], [], 0)
+
+        result = run_macho(cider, body)
+        assert result == ([], [])
+
+
+class TestVanillaHasNoXNU:
+    def test_no_ios_persona_on_vanilla(self):
+        vanilla = build_vanilla_android()
+        try:
+            assert "ios" not in vanilla.kernel.personas
+            assert vanilla.kernel.mach_subsystem is None
+            assert not vanilla.kernel.cider_enabled
+        finally:
+            vanilla.shutdown()
+
+    def test_set_persona_enosys_on_vanilla(self):
+        vanilla = build_vanilla_android()
+        try:
+
+            def body(ctx):
+                from repro.kernel.syscalls_linux import NR_set_persona
+
+                result = ctx.thread.trap(NR_set_persona, "ios")
+                return result
+
+            assert run_elf(vanilla, body) == -E.ENOSYS
+        finally:
+            vanilla.shutdown()

@@ -1,0 +1,199 @@
+"""Tests for diplomatic functions and the diplomat generator."""
+
+import pytest
+
+from repro.binfmt import elf_library, macho_dylib
+from repro.cider.system import build_cider
+from repro.diplomacy.diplomat import Diplomat, run_with_persona
+from repro.diplomacy.generator import demangle_macho, generate_diplomats
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestArbitrationProcess:
+    def test_diplomat_calls_domestic_function(self, cider):
+        def body(ctx):
+            diplomat = Diplomat("_gralloc_alloc", "libgralloc.so", "gralloc_alloc")
+            buffer = diplomat(ctx, 64, 64)
+            return type(buffer).__name__
+
+        assert run_macho(cider, body) == "GraphicBuffer"
+
+    def test_persona_restored_after_call(self, cider):
+        def body(ctx):
+            diplomat = Diplomat("_gralloc_alloc", "libgralloc.so", "gralloc_alloc")
+            diplomat(ctx, 8, 8)
+            return ctx.thread.persona.name
+
+        assert run_macho(cider, body) == "ios"
+
+    def test_exactly_two_persona_switches_per_call(self, cider):
+        cider.machine.trace.clear()
+
+        def body(ctx):
+            diplomat = Diplomat("_gralloc_alloc", "libgralloc.so", "gralloc_alloc")
+            diplomat(ctx, 8, 8)
+            switches_first = cider.machine.trace.count("persona", "switch")
+            diplomat(ctx, 8, 8)
+            switches_second = cider.machine.trace.count("persona", "switch")
+            return switches_first, switches_second
+
+        first, second = run_macho(cider, body)
+        assert first == 2  # steps 3 and 7
+        assert second == 4
+
+    def test_domestic_library_loaded_lazily_once(self, cider):
+        def body(ctx):
+            diplomat = Diplomat("_gralloc_alloc", "libgralloc.so", "gralloc_alloc")
+            assert "libgralloc.so" not in ctx.process.loaded_libraries
+            diplomat(ctx, 8, 8)
+            mapped_once = ctx.process.address_space.find("diplomat:libgralloc.so")
+            diplomat(ctx, 8, 8)
+            count = sum(
+                1
+                for vma in ctx.process.address_space
+                if vma.name == "diplomat:libgralloc.so"
+            )
+            return mapped_once is not None, count
+
+        mapped, count = run_macho(cider, body)
+        assert mapped
+        assert count == 1  # step 1 caches the resolved entry point
+
+    def test_persona_restored_even_when_domestic_code_raises(self, cider):
+        def body(ctx):
+            diplomat = Diplomat("_boom", "libgralloc.so", "gralloc_lock")
+            try:
+                diplomat(ctx)  # gralloc_lock without its argument: TypeError
+            except TypeError:
+                pass
+            return ctx.thread.persona.name
+
+        assert run_macho(cider, body) == "ios"
+
+    def test_errno_converted_between_tls_areas(self, cider):
+        """Arbitration step 8: domestic TLS errno lands in the foreign
+        TLS area after the crossing."""
+
+        def body(ctx):
+            # A domestic helper that fails with errno: open() a missing
+            # path through bionic semantics.  Build a tiny domestic lib.
+            from repro.binfmt import elf_library
+
+            def set_errno_fn(dctx):
+                dctx.thread.errno = 42  # writes the *android* TLS errno
+                return -1
+
+            lib = elf_library("liberrno.so", functions={"fail": set_errno_fn})
+            ctx.kernel.vfs.install_binary("/system/lib/liberrno.so", lib)
+            diplomat = Diplomat("_fail", "liberrno.so", "fail")
+            diplomat(ctx)
+            # We are back on the iOS persona: its TLS must now hold 42.
+            return ctx.thread.tls().errno, ctx.thread.tls().layout.name
+
+        errno, layout = run_macho(cider, body)
+        assert errno == 42
+        assert layout == "ios"
+
+    def test_run_with_persona_helper(self, cider):
+        def body(ctx):
+            seen = []
+
+            def domestic_fn(dctx):
+                seen.append(dctx.thread.persona.name)
+                return "done"
+
+            result = run_with_persona(ctx, "android", domestic_fn)
+            seen.append(ctx.thread.persona.name)
+            return result, seen
+
+        result, seen = run_macho(cider, body)
+        assert result == "done"
+        assert seen == ["android", "ios"]
+
+    def test_diplomat_charges_overhead(self, cider):
+        def body(ctx):
+            diplomat = Diplomat("_gralloc_lookup", "libgralloc.so", "gralloc_lookup")
+            diplomat(ctx, 1)  # warm: library load amortised
+            watch = ctx.machine.stopwatch()
+            diplomat(ctx, 1)
+            return watch.elapsed_ns()
+
+        cost = run_macho(cider, body)
+        costs = cider.machine.costs
+        minimum = (
+            costs["diplomat_overhead"]
+            + 2 * costs["set_persona"]
+            + costs["errno_convert"]
+        )
+        assert cost >= minimum
+
+
+class TestGenerator:
+    def test_demangle(self):
+        assert demangle_macho("_glClear") == "glClear"
+        assert demangle_macho("glClear") == "glClear"
+
+    def test_matching_by_stripped_underscore(self):
+        foreign = macho_dylib(
+            "FakeGL", functions={"_doThing": lambda ctx: None}
+        )
+        domestic = elf_library(
+            "libfake.so", functions={"doThing": lambda ctx: "native"}
+        )
+        replacement, report = generate_diplomats(foreign, [domestic])
+        assert report.matched == {"_doThing": "libfake.so"}
+        assert "_doThing" in replacement.exports
+        assert isinstance(replacement.exports["_doThing"].fn, Diplomat)
+
+    def test_unmatched_symbols_reported(self):
+        foreign = macho_dylib(
+            "FakeGL",
+            functions={
+                "_matched": lambda ctx: None,
+                "_EAGLOnly": lambda ctx: None,
+            },
+        )
+        domestic = elf_library(
+            "libfake.so", functions={"matched": lambda ctx: None}
+        )
+        _, report = generate_diplomats(foreign, [domestic])
+        assert report.unmatched == ["_EAGLOnly"]
+
+    def test_manual_diplomats_cover_gaps(self):
+        foreign = macho_dylib("FakeGL", functions={"_EAGLOnly": lambda ctx: None})
+        manual = {"_EAGLOnly": Diplomat("_EAGLOnly", "libbridge.so", "bridge")}
+        replacement, report = generate_diplomats(foreign, [], manual)
+        assert report.unmatched == []
+        assert report.manual == ["_EAGLOnly"]
+        assert report.coverage == 1.0
+
+    def test_install_name_preserved_for_interposition(self):
+        foreign = macho_dylib(
+            "OpenGLES", install_name="/S/L/F/OpenGLES.framework/OpenGLES"
+        )
+        replacement, _ = generate_diplomats(foreign, [])
+        assert replacement.install_name == foreign.install_name
+
+    def test_cider_gles_generation_report(self, cider):
+        """The real generation run: every standard GL symbol matched
+        automatically, EAGL + Apple extensions covered manually."""
+        report = cider.ios.gles_report
+        assert len(report.matched) >= 30
+        assert report.unmatched == []
+        assert any("EAGL" in name for name in report.manual)
+        assert report.coverage == 1.0
+
+    def test_replacement_library_installed_at_framework_path(self, cider):
+        node = cider.kernel.vfs.resolve(
+            "/System/Library/Frameworks/OpenGLES.framework/OpenGLES"
+        )
+        exported = node.binary_image.exports
+        assert isinstance(exported["_glClear"].fn, Diplomat)

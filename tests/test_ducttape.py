@@ -1,0 +1,253 @@
+"""Tests for the duct-tape mechanism: zones, linker, C++ runtime."""
+
+import pytest
+
+from repro import xnu as xnu_pkg
+from repro.cider.system import build_vanilla_android
+from repro.ducttape import (
+    CxxRuntime,
+    DuctTapeLinker,
+    LinuxDuctTapeEnv,
+    OSObject,
+    SymbolConflictError,
+    Zone,
+    ZoneViolationError,
+    check_module_zone,
+    zone_of,
+)
+from repro.xnu import iokit as xnu_iokit
+from repro.xnu import ipc as xnu_ipc
+from repro.xnu import pthread_support as xnu_psynch
+from repro.xnu import sync_sema as xnu_sema
+
+
+class TestZones:
+    def test_zone_assignment(self):
+        assert zone_of("repro.kernel.vfs") is Zone.DOMESTIC
+        assert zone_of("repro.xnu.ipc") is Zone.FOREIGN
+        assert zone_of("repro.ducttape.adapters") is Zone.DUCT_TAPE
+        assert zone_of("collections") is Zone.NEUTRAL
+
+    def test_foreign_modules_pass_zone_check(self):
+        for module in (xnu_ipc, xnu_psynch, xnu_sema, xnu_iokit):
+            imports = check_module_zone(module)
+            assert imports, f"{module.__name__} imports nothing?"
+
+    def test_foreign_modules_never_import_domestic(self):
+        for module in (xnu_ipc, xnu_psynch, xnu_sema, xnu_iokit):
+            for imported in check_module_zone(module):
+                assert zone_of(imported) is not Zone.DOMESTIC, (
+                    f"{module.__name__} references domestic {imported}"
+                )
+
+    def test_domestic_kernel_never_imports_foreign(self):
+        import repro.kernel.kernel as kernel_mod
+        import repro.kernel.process as process_mod
+        import repro.kernel.vfs as vfs_mod
+
+        for module in (kernel_mod, process_mod, vfs_mod):
+            for imported in check_module_zone(module):
+                assert zone_of(imported) is not Zone.FOREIGN
+
+    def test_violation_detected(self, tmp_path):
+        # Fabricate a "foreign" module that reaches into the domestic
+        # kernel; the zone checker must reject it at link time.
+        import importlib.util
+        import sys
+
+        bad = tmp_path / "bad_foreign.py"
+        bad.write_text(
+            "from repro.kernel.vfs import VFS\n"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "repro.xnu.bad_foreign", bad
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            with pytest.raises(ZoneViolationError):
+                check_module_zone(module)
+        finally:
+            del sys.modules[spec.name]
+
+    def test_ducttape_may_see_both(self):
+        import repro.ducttape.adapters as adapters
+        import repro.ducttape.iokit_glue as glue
+
+        check_module_zone(adapters)
+        check_module_zone(glue)
+
+
+class TestLinker:
+    @pytest.fixture
+    def system(self):
+        system = build_vanilla_android()
+        yield system
+        system.shutdown()
+
+    def test_links_mach_ipc(self, system):
+        env = LinuxDuctTapeEnv(system.kernel)
+        linker = DuctTapeLinker(env)
+        linked = linker.link(
+            "mach_ipc", [xnu_ipc], lambda e: xnu_ipc.MachIPC(e)
+        )
+        assert isinstance(linked.instance, xnu_ipc.MachIPC)
+        assert "MachIPC" in linked.exports
+
+    def test_symbol_conflicts_detected_and_remapped(self, system):
+        """XNU and Linux genuinely both export kfree/panic/current_task;
+        the linker must rename the foreign ones."""
+        env = LinuxDuctTapeEnv(system.kernel)
+        linker = DuctTapeLinker(env)
+        linked = linker.link(
+            "mach_ipc", [xnu_ipc], lambda e: xnu_ipc.MachIPC(e)
+        )
+        assert linked.remapped == {
+            "kfree": "xnu_kfree",
+            "panic": "xnu_panic",
+            "current_task": "xnu_current_task",
+        }
+        assert "xnu_kfree" in linked.exports
+        assert "kfree" not in linked.exports
+
+    def test_non_conflicting_symbols_keep_names(self, system):
+        env = LinuxDuctTapeEnv(system.kernel)
+        linker = DuctTapeLinker(env)
+        linked = linker.link(
+            "pthread_support",
+            [xnu_psynch],
+            lambda e: xnu_psynch.PsynchSupport(e),
+        )
+        assert "PsynchSupport" in linked.exports
+        assert linked.remapped == {}
+
+    def test_import_report_kept(self, system):
+        env = LinuxDuctTapeEnv(system.kernel)
+        linker = DuctTapeLinker(env)
+        linked = linker.link("sync_sema", [xnu_sema], lambda e: xnu_sema.SyncSema(e))
+        assert "repro.xnu.sync_sema" in linked.import_report
+
+    def test_remap_collision_is_an_error(self, system):
+        env = LinuxDuctTapeEnv(system.kernel)
+        linker = DuctTapeLinker(
+            env, domestic_symbols=frozenset({"MachIPC"})
+        )
+        # Remapping MachIPC -> xnu_MachIPC is fine... unless the foreign
+        # code already exports xnu_MachIPC.  Simulate via a fake module.
+        class FakeModule:
+            __name__ = "repro.xnu.fake"
+            EXPORTS = {"MachIPC": object(), "xnu_MachIPC": object()}
+
+        import types
+
+        fake = types.ModuleType("repro.xnu.fake")
+        fake.EXPORTS = FakeModule.EXPORTS
+        # Bypass zone checking (no source); call the conflict logic via
+        # link with a stub zone check.
+        import repro.ducttape.linker as linker_mod
+
+        original = linker_mod.check_foreign_subsystem
+        linker_mod.check_foreign_subsystem = lambda mods: {}
+        try:
+            with pytest.raises(SymbolConflictError):
+                linker.link("fake", [fake], lambda e: object())
+        finally:
+            linker_mod.check_foreign_subsystem = original
+
+
+class TestAdapters:
+    @pytest.fixture
+    def env(self):
+        system = build_vanilla_android()
+        yield LinuxDuctTapeEnv(system.kernel)
+        system.shutdown()
+
+    def test_kalloc_kfree_balance(self, env):
+        allocation = env.kalloc(128)
+        assert env.allocations_live == 1
+        env.kfree(allocation)
+        assert env.allocations_live == 0
+
+    def test_zone_allocation(self, env):
+        zone = env.zinit(64, "test.zone")
+        element = env.zalloc(zone)
+        assert zone.outstanding == 1
+        env.zfree(zone, element)
+        assert zone.outstanding == 0
+
+    def test_queue_primitives(self, env):
+        queue = env.queue_init()
+        assert env.queue_empty(queue)
+        env.enqueue_tail(queue, "a")
+        env.enqueue_tail(queue, "b")
+        assert env.dequeue_head(queue) == "a"
+        assert env.dequeue_head(queue) == "b"
+        assert env.dequeue_head(queue) is None
+
+    def test_panic_raises(self, env):
+        from repro.ducttape import KernelPanic
+
+        with pytest.raises(KernelPanic):
+            env.panic("zone corruption")
+
+    def test_mach_absolute_time_tracks_clock(self, env):
+        t0 = env.mach_absolute_time()
+        env.charge("syscall_entry")
+        assert env.mach_absolute_time() > t0
+
+
+class TestCxxRuntime:
+    def test_retain_release(self):
+        obj = OSObject()
+        assert obj.retain_count == 1
+        obj.retain()
+        assert obj.retain_count == 2
+        freed = []
+        obj.free = lambda: freed.append(True)  # type: ignore[assignment]
+        obj.release()
+        obj.release()
+        assert freed == [True]
+
+    def test_metaclass_alloc_by_name(self):
+        machine = __import__("repro.hw.profiles", fromlist=["nexus7"]).nexus7().boot()
+        runtime = CxxRuntime(machine)
+        with runtime.loading():
+            class Widget(OSObject):
+                pass
+
+        widget = runtime.registry.alloc_class_with_name("Widget")
+        assert isinstance(widget, Widget)
+        assert runtime.registry.lookup("Nonexistent") is None
+
+    def test_subclass_query(self):
+        machine = __import__("repro.hw.profiles", fromlist=["nexus7"]).nexus7().boot()
+        runtime = CxxRuntime(machine)
+        with runtime.loading():
+            class Base(OSObject):
+                pass
+
+            class Derived(Base):
+                pass
+
+        assert runtime.registry.is_subclass("Derived", "Base")
+        assert not runtime.registry.is_subclass("Base", "Derived")
+
+    def test_meta_cast(self):
+        class A(OSObject):
+            pass
+
+        class B(A):
+            pass
+
+        b = B()
+        assert b.meta_cast(A) is b
+        a = A()
+        assert a.meta_cast(B) is None
+
+    def test_construct_charges(self):
+        machine = __import__("repro.hw.profiles", fromlist=["nexus7"]).nexus7().boot()
+        runtime = CxxRuntime(machine)
+        before = machine.now_ns
+        runtime.construct(OSObject)
+        assert machine.now_ns - before == machine.costs["cxx_construct"]

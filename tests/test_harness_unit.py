@@ -1,0 +1,63 @@
+"""Unit tests for the figure harness plumbing (no system builds)."""
+
+import math
+
+from repro.workloads.harness import CONFIGS, FigureResult, _NORMALIZE_AGAINST
+
+
+def make_result():
+    result = FigureResult(["m1", "m2", "fork_exec_ios"])
+    result.record("android", "m1", 100.0)
+    result.record("cider_android", "m1", 109.0)
+    result.record("cider_ios", "m1", 140.0)
+    result.record("ios", "m1", float("nan"))
+    result.record("android", "m2", 50.0)
+    # fork_exec_ios has no vanilla baseline: normalised against the
+    # android-child variant.
+    result.record("android", "fork_exec_android", 200.0)
+    result.record("cider_ios", "fork_exec_ios", 500.0)
+    return result
+
+
+class TestNormalization:
+    def test_baseline_is_one(self):
+        table = make_result().normalized()
+        assert table["m1"]["android"] == 1.0
+
+    def test_ratios(self):
+        table = make_result().normalized()
+        assert table["m1"]["cider_android"] == 1.09
+        assert table["m1"]["cider_ios"] == 1.4
+
+    def test_nan_propagates_as_failure(self):
+        table = make_result().normalized()
+        assert math.isnan(table["m1"]["ios"])
+
+    def test_missing_config_is_none(self):
+        table = make_result().normalized()
+        assert table["m2"]["cider_ios"] is None
+
+    def test_unfair_normalisation_for_impossible_baselines(self):
+        """fork_exec_ios normalises against fork_exec_android — the
+        paper's 'intentionally unfair' comparison."""
+        assert "fork_exec_ios" in _NORMALIZE_AGAINST
+        table = make_result().normalized()
+        assert table["fork_exec_ios"]["cider_ios"] == 2.5  # 500/200
+
+
+class TestFormatting:
+    def test_table_includes_all_configs(self):
+        text = make_result().format_table("Test figure")
+        for config in CONFIGS:
+            assert config in text
+
+    def test_markers(self):
+        text = make_result().format_table("Test figure")
+        assert "FAILED" in text
+        assert "n/a" in text
+
+    def test_direction_annotation(self):
+        lower = make_result().format_table("t", higher_is_better=False)
+        higher = make_result().format_table("t", higher_is_better=True)
+        assert "lower is better" in lower
+        assert "higher is better" in higher

@@ -1,0 +1,201 @@
+"""Tests for the hardware models."""
+
+import pytest
+
+from repro.hw import (
+    GCC_4_4_1,
+    XCODE_4_2_1,
+    Display,
+    GpuCommand,
+    PixelBuffer,
+    TouchEvent,
+    TouchScreen,
+    ipad_mini,
+    iphone3gs,
+    nexus7,
+)
+
+
+class TestDeviceProfiles:
+    def test_nexus7_shape(self):
+        profile = nexus7()
+        assert profile.cpu_cores == 4
+        assert profile.cpu_mhz == 1300
+        assert profile.display_width == 1280
+        assert not profile.has_quirk("dyld_shared_cache")
+
+    def test_ipad_mini_quirks(self):
+        profile = ipad_mini()
+        assert profile.has_quirk("dyld_shared_cache")
+        assert profile.has_quirk("xnu_select_blowup")
+        assert profile.cpu_cores == 2
+
+    def test_ipad_cpu_slower_than_nexus(self):
+        nexus, ipad = nexus7(), ipad_mini()
+        for op in ("op_int_mul", "op_double_add", "native_op"):
+            assert ipad.cost_model[op] > nexus.cost_model[op]
+
+    def test_ipad_gpu_faster(self):
+        assert ipad_mini().gpu_speed_factor < nexus7().gpu_speed_factor
+
+    def test_ipad_flash_writes_faster(self):
+        assert (
+            ipad_mini().cost_model["storage_write_per_kb"]
+            < nexus7().cost_model["storage_write_per_kb"]
+        )
+
+    def test_boot_gives_independent_machines(self):
+        m1, m2 = nexus7().boot(), nexus7().boot()
+        m1.charge("syscall_entry")
+        assert m1.now_ns > 0
+        assert m2.now_ns == 0
+
+    def test_iphone3gs_is_slowest(self):
+        assert iphone3gs().cost_model["op_int_mul"] > ipad_mini().cost_model[
+            "op_int_mul"
+        ]
+
+
+class TestCompilerProfiles:
+    def test_gcc_is_reference(self):
+        assert GCC_4_4_1.factor("op_int_div") == 1.0
+
+    def test_xcode_integer_divide_penalty(self):
+        assert XCODE_4_2_1.factor("op_int_div") > 1.0
+        assert XCODE_4_2_1.factor("op_int_mul") == 1.0
+
+
+class TestPixelBuffer:
+    def test_dimensions(self):
+        buffer = PixelBuffer(1280, 800)
+        assert buffer.cols == 1280 // 20
+        assert buffer.rows == 800 // 40
+
+    def test_size_bytes_rgba(self):
+        assert PixelBuffer(100, 100).size_bytes == 100 * 100 * 4
+
+    def test_fill_rect_and_cell_at(self):
+        buffer = PixelBuffer(400, 400)
+        buffer.fill_rect(0, 0, 100, 100, "#")
+        assert buffer.cell_at(50, 50) == "#"
+        assert buffer.cell_at(350, 350) == " "
+
+    def test_draw_text(self):
+        buffer = PixelBuffer(400, 200)
+        buffer.draw_text(0, 0, "hi")
+        assert buffer.cell_at(0, 0) == "h"
+        assert buffer.cell_at(20, 0) == "i"
+
+    def test_blit_transfers_non_blank(self):
+        src = PixelBuffer(200, 80)
+        src.fill_rect(0, 0, 200, 80, "X")
+        dst = PixelBuffer(400, 160)
+        dst.blit(src, 0, 0)
+        assert dst.cell_at(0, 0) == "X"
+
+    def test_blit_skips_blank_cells(self):
+        src = PixelBuffer(200, 80)  # all blank
+        dst = PixelBuffer(400, 160)
+        dst.fill_rect(0, 0, 400, 160, "B")
+        dst.blit(src, 0, 0)
+        assert dst.cell_at(0, 0) == "B"
+
+    def test_snapshot_is_independent(self):
+        buffer = PixelBuffer(200, 80)
+        snap = buffer.snapshot()
+        buffer.fill_rect(0, 0, 200, 80, "Y")
+        assert snap.cell_at(0, 0) == " "
+
+    def test_to_text_has_border(self):
+        text = PixelBuffer(100, 80).to_text()
+        assert text.startswith("+")
+        assert text.endswith("+")
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            PixelBuffer(0, 10)
+
+
+class TestDisplay:
+    def test_post_and_screenshot(self):
+        display = Display(400, 200)
+        assert display.screenshot() == "<display off>"
+        frame = PixelBuffer(400, 200)
+        frame.draw_text(0, 0, "on")
+        display.post(frame)
+        assert display.frames_posted == 1
+        assert "on" in display.screenshot()
+
+    def test_post_snapshots_frame(self):
+        display = Display(400, 200)
+        frame = PixelBuffer(400, 200)
+        display.post(frame)
+        frame.fill_rect(0, 0, 400, 200, "Z")
+        assert display.front_buffer.cell_at(0, 0) == " "
+
+
+class TestGPU:
+    def test_commands_charge_time(self):
+        machine = nexus7().boot()
+        start = machine.now_ns
+        machine.gpu.submit([GpuCommand("draw", vertices=100, fragment_blocks=50)])
+        assert machine.now_ns > start
+        assert machine.gpu.vertices_processed == 100
+        assert machine.gpu.fragment_blocks_shaded == 50
+
+    def test_speed_factor_scales_cost(self):
+        fast = ipad_mini().boot()   # gpu factor < 1
+        slow = nexus7().boot()
+        cmd = [GpuCommand("draw", vertices=1000, fragment_blocks=1000)]
+        fast.gpu.submit(cmd)
+        slow.gpu.submit(cmd)
+        assert fast.now_ns < slow.now_ns
+
+    def test_fence_signalled_by_submit(self):
+        machine = nexus7().boot()
+        fence = machine.gpu.create_fence()
+        machine.gpu.submit([GpuCommand("fence", detail={"fence": fence})])
+        assert fence.signalled
+        before = machine.now_ns
+        machine.gpu.wait_fence(fence)
+        # Signalled fence: wait is free.
+        assert machine.now_ns == before
+
+    def test_broken_fence_wait_stalls(self):
+        machine = nexus7().boot()
+        fence = machine.gpu.create_fence()
+        machine.gpu.submit([GpuCommand("fence", detail={"fence": fence})])
+        before = machine.now_ns
+        machine.gpu.wait_fence(fence, broken=True)
+        assert machine.now_ns - before == machine.costs["fence_stall"]
+
+
+class TestTouchScreen:
+    def test_events_queue_until_driver_attaches(self):
+        panel = TouchScreen()
+        panel.tap(10, 10)
+        received = []
+        panel.attach_driver(received.append)
+        assert len(received) == 2  # down + up
+
+    def test_events_flow_after_attach(self):
+        panel = TouchScreen()
+        received = []
+        panel.attach_driver(received.append)
+        panel.swipe(0, 0, 100, 100, steps=3)
+        kinds = [e.kind for e in received]
+        assert kinds[0] == "down"
+        assert kinds[-1] == "up"
+        assert kinds.count("move") == 3
+
+    def test_pinch_uses_two_pointers(self):
+        panel = TouchScreen()
+        received = []
+        panel.attach_driver(received.append)
+        panel.pinch(100, 100, 20, 80)
+        pointer_ids = {e.pointer_id for e in received}
+        assert pointer_ids == {0, 1}
+
+    def test_bad_event_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TouchEvent("hover", 0, 0)

@@ -1,0 +1,251 @@
+"""Tests for the iOS graphics libraries: native vs Cider-diplomatic.
+
+The paper's central graphics claims: the proprietary iOS GL/IOSurface
+stack cannot work without Apple hardware services (§5.3), Cider replaces
+it with diplomats into the Android stack, and the prototype's broken
+fence primitive degrades the image-rendering test (§6.3/§6.4).
+"""
+
+import pytest
+
+from repro.cider.system import build_cider, build_ipad_mini
+from repro.ios.iosurface import AppleGPUNotPresentError
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+@pytest.fixture(scope="module")
+def ipad():
+    system = build_ipad_mini()
+    yield system
+    system.shutdown()
+
+
+class TestNativeLibrariesRequireAppleHardware:
+    def test_native_iosurface_fails_on_cider(self, cider):
+        from repro.ios.iosurface import _native_IOSurfaceCreate
+
+        def body(ctx):
+            try:
+                _native_IOSurfaceCreate(ctx, 64, 64)
+            except AppleGPUNotPresentError as err:
+                return str(err)
+            return None
+
+        message = run_macho(cider, body)
+        assert message is not None and "IOSurfaceRoot" in message
+
+    def test_native_iosurface_works_on_ipad(self, ipad):
+        from repro.ios.iosurface import _native_IOSurfaceCreate
+
+        def body(ctx):
+            surface = _native_IOSurfaceCreate(ctx, 64, 64)
+            return surface.width_px, surface.height_px
+
+        assert run_macho(ipad, body) == (64, 64)
+
+    def test_native_gl_fails_on_cider(self, cider):
+        from repro.ios.opengles import native_opengles_exports
+
+        def body(ctx):
+            gl_clear = native_opengles_exports()["_glClear"]
+            try:
+                gl_clear(ctx, 0x4000)
+            except AppleGPUNotPresentError:
+                return "refused"
+            return "worked"
+
+        assert run_macho(cider, body) == "refused"
+
+    def test_native_gl_works_on_ipad(self, ipad):
+        def body(ctx):
+            # On the iPad the installed OpenGLES framework IS the native
+            # library; drive a whole frame through it.
+            eagl = ctx.dlsym("OpenGLES", "_EAGLContextCreate")()
+            ctx.dlsym("OpenGLES", "_EAGLContextSetCurrent")(eagl)
+            window = ctx.machine.surfaceflinger.create_surface("t", 200, 200, 1)
+            ctx.dlsym("OpenGLES", "_EAGLRenderbufferStorageFromDrawable")(
+                eagl, window
+            )
+            ctx.dlsym("OpenGLES", "_glClear")(0x4000)
+            ctx.dlsym("OpenGLES", "_glDrawArrays")(4, 0, 60)
+            return ctx.dlsym("OpenGLES", "_EAGLContextPresentRenderbuffer")(eagl)
+
+        assert run_macho(ipad, body) is True
+
+
+class TestCiderInterposition:
+    def test_iosurface_create_backed_by_gralloc(self, cider):
+        def body(ctx):
+            create = ctx.dlsym("IOSurface", "_IOSurfaceCreate")
+            surface = create(320, 240)
+            return (
+                type(surface).__name__,
+                surface.gralloc_buffer is not None,
+                surface.base_address() is surface.gralloc_buffer.pixels,
+            )
+
+        name, has_gralloc, zero_copy = run_macho(cider, body)
+        assert name == "IOSurface"
+        assert has_gralloc  # allocated by libgralloc via a diplomat
+        assert zero_copy  # same pixels: the zero-copy property holds
+
+    def test_iosurface_accessors(self, cider):
+        def body(ctx):
+            create = ctx.dlsym("IOSurface", "_IOSurfaceCreate")
+            surface = create(100, 50)
+            lock = ctx.dlsym("IOSurface", "_IOSurfaceLock")
+            unlock = ctx.dlsym("IOSurface", "_IOSurfaceUnlock")
+            lock(surface)
+            locked = surface.lock_count
+            unlock(surface)
+            return (
+                ctx.dlsym("IOSurface", "_IOSurfaceGetWidth")(surface),
+                ctx.dlsym("IOSurface", "_IOSurfaceGetHeight")(surface),
+                locked,
+                surface.lock_count,
+            )
+
+        assert run_macho(cider, body) == (100, 50, 1, 0)
+
+    def test_replacement_gl_drives_android_gpu(self, cider):
+        def body(ctx):
+            before = ctx.machine.gpu.vertices_processed
+            eagl = ctx.dlsym("OpenGLES", "_EAGLContextCreate")()
+            ctx.dlsym("OpenGLES", "_EAGLContextSetCurrent")(eagl)
+            window = ctx.dlsym("OpenGLES", "_CiderCreateWindowSurface")(
+                "gl-test", 200, 200
+            )
+            ctx.dlsym("OpenGLES", "_EAGLRenderbufferStorageFromDrawable")(
+                eagl, window
+            )
+            ctx.dlsym("OpenGLES", "_glDrawArrays")(4, 0, 77)
+            ctx.dlsym("OpenGLES", "_EAGLContextPresentRenderbuffer")(eagl)
+            return ctx.machine.gpu.vertices_processed - before
+
+        assert run_macho(cider, body) == 77
+
+    def test_every_gl_call_crosses_personas(self, cider):
+        cider.machine.trace.clear()
+
+        def body(ctx):
+            eagl = ctx.dlsym("OpenGLES", "_EAGLContextCreate")()
+            ctx.dlsym("OpenGLES", "_EAGLContextSetCurrent")(eagl)
+            for _ in range(5):
+                ctx.dlsym("OpenGLES", "_glViewport")(0, 0, 10, 10)
+            return True
+
+        run_macho(cider, body)
+        # 2 EAGL calls + 5 GL calls, two switches each.
+        assert cider.machine.trace.count("persona", "switch") >= 14
+
+
+class TestFenceBug:
+    def test_broken_fence_stalls_on_cider(self):
+        buggy = build_cider(fence_bug=True)
+        fixed = build_cider(fence_bug=False)
+        try:
+
+            def body(ctx):
+                eagl = ctx.dlsym("OpenGLES", "_EAGLContextCreate")()
+                ctx.dlsym("OpenGLES", "_EAGLContextSetCurrent")(eagl)
+                fence_sync = ctx.dlsym("OpenGLES", "_glFenceSyncAPPLE")
+                wait_sync = ctx.dlsym("OpenGLES", "_glClientWaitSyncAPPLE")
+                watch = ctx.machine.stopwatch()
+                for _ in range(4):
+                    wait_sync(fence_sync())
+                return watch.elapsed_ns()
+
+            buggy_ns = run_macho(buggy, body)
+            fixed_ns = run_macho(fixed, body)
+            stall = buggy.machine.costs["fence_stall"]
+            assert buggy_ns - fixed_ns >= 4 * stall * 0.9
+        finally:
+            buggy.shutdown()
+            fixed.shutdown()
+
+    def test_ipad_native_fences_are_fine(self, ipad):
+        def body(ctx):
+            eagl = ctx.dlsym("OpenGLES", "_EAGLContextCreate")()
+            ctx.dlsym("OpenGLES", "_EAGLContextSetCurrent")(eagl)
+            fence = ctx.dlsym("OpenGLES", "_glFenceSyncAPPLE")()
+            watch = ctx.machine.stopwatch()
+            ctx.dlsym("OpenGLES", "_glClientWaitSyncAPPLE")(fence)
+            return watch.elapsed_ns()
+
+        cost = run_macho(ipad, body)
+        assert cost < ipad.machine.costs["fence_stall"]
+
+
+class TestQuartzCoreAndCoreGraphics:
+    def test_layer_tree_renders_into_iosurface(self, cider):
+        def body(ctx):
+            from repro.ios.quartzcore import CALayer
+
+            create = ctx.dlsym("IOSurface", "_IOSurfaceCreate")
+            surface = create(400, 200)
+            root = CALayer(0, 0, 400, 200, background=".")
+            child = CALayer(0, 0, 200, 100, background="#")
+            child.text = "QC"
+            root.add_sublayer(child)
+            rendered = ctx.dlsym("QuartzCore", "_CARenderLayerTree")(
+                root, surface
+            )
+            pixels = surface.base_address()
+            # The text lands at the layer origin; probe past it for the
+            # background fill and inside the root for its fill.
+            return rendered, pixels.cell_at(150, 80), pixels.cell_at(350, 150)
+
+        rendered, child_cell, root_cell = run_macho(cider, body)
+        assert rendered == 2
+        assert child_cell == "#"
+        assert root_cell == "."
+
+    def test_cg_complex_vectors_faster_than_skia(self, cider):
+        """The one 2D primitive where iOS wins (paper §6.3)."""
+
+        def body(ctx):
+            from repro.android.skia import skia_create_canvas
+            from repro.hw.display import PixelBuffer
+
+            points = [(i, i) for i in range(10)]
+            cg_canvas = ctx.dlsym("CoreGraphics", "_CGBitmapContextCreate")(
+                PixelBuffer(200, 200)
+            )
+            watch = ctx.machine.stopwatch()
+            cg_canvas.draw_complex_vector(ctx, points, units=500)
+            cg_ns = watch.elapsed_ns()
+            skia_canvas = skia_create_canvas(ctx, PixelBuffer(200, 200))
+            watch = ctx.machine.stopwatch()
+            skia_canvas.draw_complex_vector(ctx, points, units=500)
+            skia_ns = watch.elapsed_ns()
+            return cg_ns, skia_ns
+
+        cg_ns, skia_ns = run_macho(cider, body)
+        assert cg_ns < skia_ns
+
+    def test_cg_solid_fills_slower_than_skia(self, cider):
+        def body(ctx):
+            from repro.android.skia import skia_create_canvas
+            from repro.hw.display import PixelBuffer
+
+            cg = ctx.dlsym("CoreGraphics", "_CGBitmapContextCreate")(
+                PixelBuffer(200, 200)
+            )
+            watch = ctx.machine.stopwatch()
+            cg.draw_solid_vector(ctx, 0, 0, 100, 100, units=500)
+            cg_ns = watch.elapsed_ns()
+            skia = skia_create_canvas(ctx, PixelBuffer(200, 200))
+            watch = ctx.machine.stopwatch()
+            skia.draw_solid_vector(ctx, 0, 0, 100, 100, units=500)
+            return cg_ns, watch.elapsed_ns()
+
+        cg_ns, skia_ns = run_macho(cider, body)
+        assert cg_ns > skia_ns

@@ -1,0 +1,238 @@
+"""Tests for UIKit-lite: views, gestures, run loop, rendering."""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.ios.uikit import (
+    EVENT_MSG_LIFECYCLE,
+    EVENT_MSG_TOUCH,
+    UIApplication,
+    UIButton,
+    UILabel,
+    UIPanGestureRecognizer,
+    UIPinchGestureRecognizer,
+    UITapGestureRecognizer,
+    UITextField,
+    UITouch,
+    UIView,
+    UIWindow,
+)
+from repro.xnu.ipc import MachMessage
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestViewHierarchy:
+    def test_hit_test_finds_deepest_view(self):
+        window = UIWindow(0, 0, 400, 400)
+        panel = UIView(100, 100, 200, 200)
+        button = UIButton("go", x=50, y=50, width=50, height=50)
+        window.add_subview(panel)
+        panel.add_subview(button)
+        # Button occupies window coords (150..200, 150..200).
+        assert window.hit_test(160, 160) is button
+        assert window.hit_test(110, 110) is panel
+        assert window.hit_test(10, 10) is window
+
+    def test_hidden_views_not_hit(self):
+        window = UIWindow(0, 0, 400, 400)
+        panel = UIView(0, 0, 400, 400)
+        panel.hidden = True
+        window.add_subview(panel)
+        assert window.hit_test(10, 10) is window
+
+    def test_layer_tree_mirrors_views(self):
+        window = UIWindow(0, 0, 400, 400)
+        window.add_subview(UILabel("a"))
+        window.add_subview(UILabel("b"))
+        layer = window.build_layer()
+        assert layer.layer_count() == 3
+
+    def test_button_tap_callback(self):
+        taps = []
+        button = UIButton("press", on_tap=taps.append)
+        button.on_touch(UITouch("down", 1, 1))
+        button.on_touch(UITouch("up", 1, 1))
+        assert taps == [button]
+        assert button.tap_count == 1
+
+    def test_label_text_updates(self):
+        label = UILabel("before")
+        label.text = "after"
+        assert label.display_text == "after"
+
+    def test_textfield_focus_on_touch(self):
+        field = UITextField()
+        assert "|" not in field.display_text
+        field.on_touch(UITouch("up", 1, 1))
+        assert field.focused
+        assert field.display_text.endswith("|")
+
+
+class TestGestureRecognizers:
+    def test_tap_fires_on_small_movement(self):
+        fired = []
+        tap = UITapGestureRecognizer(fired.append)
+        tap.handle(None, UITouch("down", 100, 100))
+        tap.handle(None, UITouch("up", 104, 103))
+        assert len(fired) == 1
+
+    def test_tap_rejected_on_large_movement(self):
+        fired = []
+        tap = UITapGestureRecognizer(fired.append)
+        tap.handle(None, UITouch("down", 100, 100))
+        tap.handle(None, UITouch("up", 200, 100))
+        assert fired == []
+
+    def test_pan_accumulates_deltas(self):
+        deltas = []
+        pan = UIPanGestureRecognizer(lambda r, dx, dy: deltas.append((dx, dy)))
+        pan.handle(None, UITouch("down", 0, 0))
+        pan.handle(None, UITouch("move", 10, 5))
+        pan.handle(None, UITouch("move", 20, 10))
+        pan.handle(None, UITouch("up", 20, 10))
+        assert deltas == [(10, 5), (10, 5)]
+        assert pan.total_dx == 20
+
+    def test_pinch_computes_scale(self):
+        scales = []
+        pinch = UIPinchGestureRecognizer(lambda r, s: scales.append(s))
+        pinch.handle(None, UITouch("down", 90, 100, pointer_id=0))
+        pinch.handle(None, UITouch("down", 110, 100, pointer_id=1))
+        pinch.handle(None, UITouch("move", 80, 100, pointer_id=0))
+        pinch.handle(None, UITouch("move", 120, 100, pointer_id=1))
+        assert scales
+        assert scales[-1] == pytest.approx(2.0)
+
+    def test_pinch_resets_on_release(self):
+        pinch = UIPinchGestureRecognizer(lambda r, s: None)
+        pinch.handle(None, UITouch("down", 90, 100, pointer_id=0))
+        pinch.handle(None, UITouch("down", 110, 100, pointer_id=1))
+        pinch.handle(None, UITouch("up", 90, 100, pointer_id=0))
+        assert pinch._start_spread is None
+
+
+class TestApplicationRunLoop:
+    def test_app_renders_and_handles_events_via_mach_port(self, system):
+        """Drive a UIKit app entirely through its event port — the iOS
+        input contract (paper §5.2)."""
+
+        def body(ctx):
+            taps = []
+
+            class Delegate:
+                def did_finish_launching(self, app):
+                    app.window.add_subview(
+                        UIButton(
+                            "hit me",
+                            x=100,
+                            y=100,
+                            width=200,
+                            height=100,
+                            on_tap=lambda b: taps.append("hit"),
+                        )
+                    )
+
+            app = UIApplication(ctx, Delegate())
+            app.delegate.did_finish_launching(app)
+            app.render()
+            libc = ctx.libc
+            # Inject a touch + terminate through the Mach port.
+            for kind in ("down", "up"):
+                libc.mach_msg_send(
+                    app.event_port,
+                    MachMessage(
+                        EVENT_MSG_TOUCH,
+                        body={"kind": kind, "x": 150.0, "y": 150.0},
+                    ),
+                )
+            libc.mach_msg_send(
+                app.event_port,
+                MachMessage(EVENT_MSG_LIFECYCLE, body={"action": "terminate"}),
+            )
+            app.run()
+            return taps, app.events_handled, app.frames_rendered
+
+        taps, handled, frames = run_macho(system, body)
+        assert taps == ["hit"]
+        assert handled == 3
+        assert frames >= 3
+
+    def test_lifecycle_pause_resume(self, system):
+        def body(ctx):
+            states = []
+
+            class Delegate:
+                def on_pause(self, app):
+                    states.append("paused")
+
+                def on_resume(self, app):
+                    states.append("resumed")
+
+            app = UIApplication(ctx, Delegate())
+            app.dispatch_lifecycle("pause")
+            assert app.state == "background"
+            app.dispatch_lifecycle("resume")
+            assert app.state == "active"
+            return states
+
+        assert run_macho(system, body) == ["paused", "resumed"]
+
+    def test_keyboard_types_into_textfield(self, system):
+        def body(ctx):
+            class Delegate:
+                pass
+
+            app = UIApplication(ctx, Delegate())
+            field = UITextField(x=10, y=10)
+            app.window.add_subview(field)
+            app.show_keyboard(field)
+            # Tap the 'q' key: first key of the keyboard rows.
+            keyboard = app.keyboard
+            first_key = keyboard.subviews[0]
+            kx = keyboard.x + first_key.x + 5
+            ky = keyboard.y + first_key.y + 5
+            app.dispatch_touch(UITouch("down", kx, ky))
+            app.dispatch_touch(UITouch("up", kx, ky))
+            return field.text
+
+        assert run_macho(system, body) == "q"
+
+    def test_frame_lands_on_display(self, system):
+        def body(ctx):
+            class Delegate:
+                def did_finish_launching(self, app):
+                    app.window.add_subview(UILabel("FRAME-TEST", x=40, y=80))
+
+            app = UIApplication(ctx, Delegate())
+            app.delegate.did_finish_launching(app)
+            app.render()
+            return ctx.machine.display.screenshot()
+
+        screenshot = run_macho(system, body)
+        assert "FRAME-TEST" in screenshot.replace("\n", "")
+
+    def test_render_goes_through_diplomatic_gles(self, system):
+        """On Cider the frame is presented by diplomats — persona
+        switches must appear in the trace."""
+        system.machine.trace.clear()
+
+        def body(ctx):
+            class Delegate:
+                pass
+
+            app = UIApplication(ctx, Delegate())
+            app.render()
+            return ctx.thread.persona.name
+
+        persona = run_macho(system, body)
+        assert persona == "ios"
+        assert system.machine.trace.count("persona", "switch") >= 2
+        assert system.machine.trace.count("diplomat") >= 1

@@ -1,0 +1,83 @@
+"""Tests for WebKit-lite and the multi-threaded-GL limitation (§6.4)."""
+
+import pytest
+
+from repro.cider.system import build_cider, build_ipad_mini
+
+from helpers import run_macho
+
+HTML = """
+<body>
+<h1>Cider</h1>
+<p>Native execution of iOS apps on Android.</p>
+<p>ASPLOS 2014.</p>
+</body>
+"""
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestPageLoading:
+    def test_html_parses_to_lines(self, cider):
+        def body(ctx):
+            view = ctx.dlsym("WebKit", "_WKWebViewCreate")()
+            page = view.load_html(HTML)
+            return page.lines
+
+        lines = run_macho(cider, body)
+        assert lines == [
+            "Cider",
+            "Native execution of iOS apps on Android.",
+            "ASPLOS 2014.",
+        ]
+
+
+class TestMultithreadedGLLimitation:
+    def test_cider_falls_back_to_single_thread(self, cider):
+        """'the iOS WebKit framework is only partially supported due to
+        its multi-threaded use of the OpenGL ES API.'"""
+
+        def body(ctx):
+            view = ctx.dlsym("WebKit", "_WKWebViewCreate")()
+            view.load_html(HTML)
+            return view.render()
+
+        result = run_macho(cider, body)
+        assert result["fallback"] is True
+        assert result["threads"] == 0
+        assert result["tiles"] == 16  # still functional: all tiles drawn
+
+    def test_ipad_uses_threaded_tile_rendering(self):
+        ipad = build_ipad_mini()
+        try:
+
+            def body(ctx):
+                view = ctx.dlsym("WebKit", "_WKWebViewCreate")()
+                view.load_html(HTML)
+                return view.render()
+
+            result = run_macho(ipad, body)
+            assert result["fallback"] is False
+            assert result["threads"] == 4
+            assert result["tiles"] == 16
+        finally:
+            ipad.shutdown()
+
+    def test_fallback_is_slower_per_paper(self, cider):
+        """Partial support means degraded, not broken: rendering works
+        but is serialised (and pays diplomats on every GL upload)."""
+
+        def body(ctx):
+            view = ctx.dlsym("WebKit", "_WKWebViewCreate")()
+            view.load_html(HTML)
+            watch = ctx.machine.stopwatch()
+            view.render()
+            return watch.elapsed_ns()
+
+        cider_ns = run_macho(cider, body)
+        assert cider_ns > 0

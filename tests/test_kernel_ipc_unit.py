@@ -1,0 +1,240 @@
+"""Unit-level behaviours of pipes, sockets, select and the loader chain."""
+
+import pytest
+
+from repro.binfmt import elf_executable, elf_library
+from repro.cider.system import build_vanilla_android
+from repro.kernel import errno as E
+from repro.kernel.pipes import PIPE_CAPACITY
+from repro.kernel.signals import SIGPIPE
+
+from helpers import run_elf
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = build_vanilla_android()
+    yield system
+    system.shutdown()
+
+
+class TestPipeEdgeCases:
+    def test_write_to_closed_reader_epipe_and_sigpipe(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            hits = []
+            libc.signal(SIGPIPE, lambda hctx, signum, info: hits.append(signum))
+            r, w = libc.pipe()
+            libc.close(r)
+            result = libc.write(w, b"doomed")
+            return result, libc.errno, hits
+
+        result, errno, hits = run_elf(system, body)
+        assert result == -1
+        assert errno == E.EPIPE
+        assert hits == [SIGPIPE]
+
+    def test_backpressure_blocks_writer_until_reader_drains(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            r, w = libc.pipe()
+            libc.write(w, b"x" * PIPE_CAPACITY)  # fill it
+            order = []
+
+            def drainer(tctx):
+                order.append("drain")
+                tctx.libc.read(r, 1024)
+                return 0
+
+            libc.pthread_create(drainer)
+            order.append("write-start")
+            libc.write(w, b"y")  # blocks until the drainer runs
+            order.append("write-done")
+            return order
+
+        assert run_elf(system, body) == ["write-start", "drain", "write-done"]
+
+    def test_nonblocking_read_eagain(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            r, w = libc.pipe()
+            handle = ctx.process.fd_table.get(r)
+            handle.flags |= 0o4000  # O_NONBLOCK
+            result = libc.read(r, 1)
+            return result, libc.errno
+
+        result, errno = run_elf(system, body)
+        assert result == -1
+        assert errno == E.EAGAIN
+
+    def test_partial_write_when_almost_full(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            r, w = libc.pipe()
+            libc.write(w, b"x" * (PIPE_CAPACITY - 4))
+            written = libc.write(w, b"abcdefgh")  # room for 4
+            return written
+
+        assert run_elf(system, body) == 4
+
+
+class TestSocketEdgeCases:
+    def test_connect_to_missing_path(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            fd = libc.socket()
+            result = libc.connect(fd, "/tmp/no-such.sock")
+            return result, libc.errno
+
+        result, errno = run_elf(system, body)
+        assert result == -1
+        assert errno in (E.ENOENT, E.ECONNREFUSED, E.ENOTSOCK)
+
+    def test_write_after_peer_close_epipe(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            a, b = libc.socketpair()
+            libc.close(b)
+            result = libc.write(a, b"late")
+            return result, libc.errno
+
+        result, errno = run_elf(system, body)
+        assert result == -1
+        assert errno == E.EPIPE
+
+    def test_read_returns_eof_after_peer_close(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            a, b = libc.socketpair()
+            libc.write(b, b"last")
+            libc.close(b)
+            first = libc.read(a, 16)
+            eof = libc.read(a, 16)
+            return first, eof
+
+        first, eof = run_elf(system, body)
+        assert first == b"last"
+        assert eof == b""
+
+    def test_accept_on_non_listener(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            fd = libc.socket()
+            result = libc.accept(fd)
+            return result, libc.errno
+
+        result, errno = run_elf(system, body)
+        assert result == -1
+        assert errno == E.EOPNOTSUPP
+
+
+class TestSelectBehaviour:
+    def test_blocking_select_wakes_on_write(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            r, w = libc.pipe()
+            order = []
+
+            def writer(tctx):
+                order.append("write")
+                tctx.libc.write(w, b"!")
+                return 0
+
+            libc.pthread_create(writer)
+            order.append("select")
+            ready_r, _ = libc.select([r], [], None)  # blocks
+            order.append("ready")
+            return order, ready_r
+
+        order, ready = run_elf(system, body)
+        assert order == ["select", "write", "ready"]
+        assert ready
+
+    def test_select_timeout_returns_empty(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            r, _w = libc.pipe()
+            return libc.select([r], [], 5000)
+
+        assert run_elf(system, body) == ([], [])
+
+    def test_writability_reported(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            r, w = libc.pipe()
+            return libc.select([], [w], 0)
+
+        ready_r, ready_w = run_elf(system, body)
+        assert ready_w
+
+
+class TestLoaderChain:
+    def test_transitive_dependency_closure(self, system):
+        calls = []
+        leaf = elf_library("libleaf.so", functions={"f": lambda c: calls.append(1)})
+        mid = elf_library("libmid.so", deps=["libleaf.so"])
+        system.kernel.vfs.install_binary("/system/lib/libleaf.so", leaf)
+        system.kernel.vfs.install_binary("/system/lib/libmid.so", mid)
+
+        def main(ctx, argv):
+            return 0
+
+        image = elf_executable("deps-test", main, deps=["libc.so", "libmid.so"])
+        system.kernel.vfs.install_binary("/system/bin/deps-test", image)
+        holder = {}
+
+        def body_main(ctx, argv):
+            holder["libs"] = sorted(
+                name
+                for name in ctx.process.loaded_libraries
+                if name.startswith("lib")
+            )
+            return 0
+
+        image2 = elf_executable(
+            "deps-test2", body_main, deps=["libc.so", "libmid.so"]
+        )
+        system.kernel.vfs.install_binary("/system/bin/deps-test2", image2)
+        system.run_program("/system/bin/deps-test2")
+        assert "libmid.so" in holder["libs"]
+        assert "libleaf.so" in holder["libs"]  # pulled transitively
+
+    def test_missing_dependency_fails_exec(self, system):
+        image = elf_executable("no-dep", lambda c, a: 0, deps=["libghost.so"])
+        system.kernel.vfs.install_binary("/system/bin/no-dep", image)
+        with pytest.raises(Exception) as err:
+            system.run_program("/system/bin/no-dep")
+        assert "libghost" in str(err.value)
+
+    def test_exec_of_plain_file_enoexec(self, system):
+        system.kernel.vfs.create_file("/data/not-a-binary", data=b"#!text")
+
+        def body(ctx):
+            result = ctx.libc.execve("/data/not-a-binary")
+            return result, ctx.libc.errno
+
+        # execve fails in-process: returns -1 with ENOEXEC.
+        result, errno = run_elf(system, body)
+        assert result == -1
+        assert errno == E.ENOEXEC
+
+
+class TestShell:
+    def test_sh_with_no_command_exits_zero(self, system):
+        assert system.run_program("/system/bin/sh", ["sh"]) == 0
+
+    def test_sh_propagates_child_exit_code(self, system):
+        from repro.binfmt import elf_executable
+
+        image = elf_executable("fail7", lambda ctx, argv: 7)
+        system.kernel.vfs.install_binary("/system/bin/fail7", image)
+        code = system.run_program(
+            "/system/bin/sh", ["sh", "-c", "/system/bin/fail7"]
+        )
+        assert code == 7
+
+    def test_sh_missing_command_gives_shell_error(self, system):
+        code = system.run_program(
+            "/system/bin/sh", ["sh", "-c", "/system/bin/ghost"]
+        )
+        assert code == 127  # POSIX: command not found

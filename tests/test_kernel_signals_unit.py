@@ -1,0 +1,172 @@
+"""Unit tests for signal state machinery and pending-delivery paths."""
+
+import pytest
+
+from repro.cider.system import build_vanilla_android
+from repro.kernel.signals import (
+    NSIG,
+    SIG_DFL,
+    SIG_IGN,
+    SIGCHLD,
+    SIGKILL,
+    SIGTERM,
+    SIGUSR1,
+    SigAction,
+    SigInfo,
+    SignalState,
+    PendingSignals,
+    default_is_fatal,
+    default_is_ignored,
+)
+
+from helpers import run_elf
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = build_vanilla_android()
+    yield system
+    system.shutdown()
+
+
+class TestSignalState:
+    def test_set_returns_previous(self):
+        state = SignalState()
+        handler = lambda *a: None
+        previous = state.set_action(SIGUSR1, SigAction(handler=handler))
+        assert previous.handler == SIG_DFL
+        previous = state.set_action(SIGUSR1, SigAction(handler=SIG_IGN))
+        assert previous.handler is handler
+
+    def test_bad_signal_number(self):
+        state = SignalState()
+        with pytest.raises(ValueError):
+            state.set_action(0, SigAction())
+        with pytest.raises(ValueError):
+            state.set_action(NSIG, SigAction())
+
+    def test_fork_copy_independent(self):
+        state = SignalState()
+        state.set_action(SIGUSR1, SigAction(handler=SIG_IGN))
+        child = state.fork_copy()
+        child.set_action(SIGUSR1, SigAction(handler=SIG_DFL))
+        assert state.action_for(SIGUSR1).handler == SIG_IGN
+
+    def test_exec_reset_keeps_only_ignored(self):
+        state = SignalState()
+        state.set_action(SIGUSR1, SigAction(handler=lambda *a: None))
+        state.set_action(SIGTERM, SigAction(handler=SIG_IGN))
+        state.exec_reset()
+        assert state.action_for(SIGUSR1).handler == SIG_DFL
+        assert state.action_for(SIGTERM).handler == SIG_IGN
+
+    def test_default_dispositions(self):
+        assert default_is_fatal(SIGKILL)
+        assert default_is_fatal(SIGTERM)
+        assert default_is_ignored(SIGCHLD)
+        assert not default_is_fatal(SIGCHLD)
+
+    def test_pending_queue_fifo(self):
+        pending = PendingSignals()
+        pending.push(SigInfo(1))
+        pending.push(SigInfo(2))
+        assert pending.pop().signum == 1
+        assert pending.pop().signum == 2
+        assert pending.pop() is None
+        assert not pending
+
+
+class TestDeliveryPaths:
+    def test_exec_resets_caught_handlers(self, system):
+        log = {}
+
+        def body(ctx):
+            libc = ctx.libc
+            libc.signal(SIGUSR1, lambda *a: None)
+
+            def child(cctx):
+                # The handler survived fork...
+                inherited = cctx.process.signals.action_for(SIGUSR1)
+                assert callable(inherited.handler)
+                cctx.libc.execve("/system/bin/hello")
+                return 127
+
+            pid = libc.fork(child)
+            _, code = libc.waitpid(pid)
+            log["code"] = code
+            return 0
+
+        run_elf(system, body)
+        assert log["code"] == 0
+
+    def test_sigchld_delivered_to_handler(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            chld = []
+            libc.signal(SIGCHLD, lambda hctx, signum, info: chld.append(info.sender_pid))
+            pid = libc.fork(lambda cctx: 0)
+            libc.waitpid(pid)
+            # Delivery happens at the next trap boundary at the latest.
+            libc.getpid()
+            return chld, pid
+
+        chld, pid = run_elf(system, body)
+        assert chld == [pid]
+
+    def test_ignored_signal_dropped(self, system):
+        def body(ctx):
+            from repro.kernel.signals import SIG_IGN
+
+            libc = ctx.libc
+            libc.signal(SIGUSR1, SIG_IGN)
+            libc.raise_(SIGUSR1)  # must not kill us
+            return "alive"
+
+        assert run_elf(system, body) == "alive"
+
+    def test_handler_exception_is_a_crash(self, system):
+        """A handler that raises is a user-code crash: the process is
+        finalized with the crash code, not silently lost."""
+
+        def body(ctx):
+            libc = ctx.libc
+
+            def child(cctx):
+                def bad_handler(hctx, signum, info):
+                    raise ValueError("broken handler")
+
+                cctx.libc.signal(SIGUSR1, bad_handler)
+                cctx.libc.raise_(SIGUSR1)
+                return 0
+
+            pid = libc.fork(child)
+            _, code = libc.waitpid(pid)
+            return code
+
+        assert run_elf(system, body) == 139
+
+    def test_pending_signal_wakes_blocked_target(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            log = []
+            ready_r, ready_w = libc.pipe()
+
+            def child(cctx):
+                clibc = cctx.libc
+                clibc.signal(SIGUSR1, lambda h, s, i: log.append("handled"))
+                clibc.write(ready_w, b"!")  # handler installed
+                r, _w = clibc.pipe()
+                clibc.read(r, 1)  # blocks; the signal interrupts the wait
+                return 0
+
+            pid = libc.fork(child)
+            libc.read(ready_r, 1)  # wait until the handler is in place
+            libc.kill(pid, SIGUSR1)
+            libc.sched_yield()  # let the woken child run its handler
+            libc.kill(pid, SIGTERM)  # then terminate it
+            _, code = libc.waitpid(pid)
+            return log, code
+
+        log, code = run_elf(system, body)
+        assert log == ["handled"]
+        assert code == 128 + SIGTERM

@@ -1,0 +1,117 @@
+"""Tests for libSystem specifics: kqueue interposition, sleep, Foundation."""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.ios.kqueue import EV_ADD, EV_DELETE, EVFILT_READ, KEvent, kevent, kqueue
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestKqueueInterposition:
+    """kqueue/kevent supported as a *user-space* library multiplexed over
+    select — API interposition, not duct tape (paper §4.2)."""
+
+    def test_kevent_reports_readable_pipe(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            r, w = libc.pipe()
+            kq = kqueue(ctx)
+            kevent(ctx, kq, [KEvent(r, EVFILT_READ, EV_ADD)])
+            before = kevent(ctx, kq)
+            libc.write(w, b"data")
+            after = kevent(ctx, kq)
+            return before, [(e.ident, e.filter) for e in after]
+
+        before, after = run_macho(cider, body)
+        assert before == []
+        assert after == [(3, EVFILT_READ)] or after[0][1] == EVFILT_READ
+
+    def test_ev_delete_removes_filter(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            r, w = libc.pipe()
+            kq = kqueue(ctx)
+            kevent(ctx, kq, [KEvent(r, EVFILT_READ, EV_ADD)])
+            libc.write(w, b"x")
+            kevent(ctx, kq, [KEvent(r, EVFILT_READ, EV_DELETE)])
+            return kevent(ctx, kq)
+
+        assert run_macho(cider, body) == []
+
+    def test_kqueue_is_userspace_only(self, cider):
+        """No kqueue syscall exists in any dispatch table — it never
+        entered the kernel."""
+        ios_abi = cider.kernel.personas.get("ios").abi
+        for table in (ios_abi.bsd, ios_abi.mach):
+            assert "kqueue" not in table.names()
+            assert "kevent" not in table.names()
+
+    def test_kqueue_reachable_through_dylib_exports(self, cider):
+        def body(ctx):
+            kq_fn = ctx.dlsym("libkqueue.dylib", "_kqueue")
+            return type(kq_fn()).__name__
+
+        assert run_macho(cider, body) == "KQueue"
+
+
+class TestSleepAndTime:
+    def test_sleep_advances_virtual_time(self, cider):
+        def body(ctx):
+            start = ctx.machine.now_ns
+            ctx.libc.sleep_ns(2_000_000)
+            return ctx.machine.now_ns - start
+
+        assert run_macho(cider, body) >= 2_000_000
+
+    def test_cfabsolutetime_moves_forward(self, cider):
+        def body(ctx):
+            get_time = ctx.dlsym("Foundation", "_CFAbsoluteTimeGetCurrent")
+            t0 = get_time()
+            ctx.libc.sleep_ns(1_000_000)
+            return get_time() - t0
+
+        assert run_macho(cider, body) == pytest.approx(0.001, rel=0.2)
+
+
+class TestFoundation:
+    def test_nslog_emits_trace(self, cider):
+        cider.machine.trace.clear()
+
+        def body(ctx):
+            ctx.dlsym("Foundation", "_NSLog")("hello from foundation")
+            return 0
+
+        run_macho(cider, body)
+        assert cider.machine.trace.count("nslog") == 1
+
+    def test_user_defaults_persist_to_overlay(self, cider):
+        def body(ctx):
+            set_default = ctx.dlsym("Foundation", "_NSUserDefaults_set")
+            get_default = ctx.dlsym("Foundation", "_NSUserDefaults_get")
+            set_default("theme", "dark")
+            value = get_default("theme")
+            plist = f"/Library/Preferences/{ctx.process.name}.plist"
+            return value, ctx.kernel.vfs.exists(plist)
+
+        value, persisted = run_macho(cider, body)
+        assert value == "dark"
+        assert persisted
+
+    def test_home_paths_are_ios_paths(self, cider):
+        def body(ctx):
+            home = ctx.dlsym("Foundation", "_NSHomeDirectory")()
+            docs = ctx.dlsym("Foundation", "_NSDocumentsDirectory")()
+            return home, docs, ctx.kernel.vfs.exists(docs)
+
+        home, docs, exists = run_macho(cider, body)
+        assert home == "/var/mobile"
+        assert docs == "/Documents"
+        assert exists  # the overlay provides the familiar iOS path

@@ -1,0 +1,107 @@
+"""The prototype's §6.4 limitations, reproduced as testable behaviour."""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.xnu.iokit import IO_OBJECT_NULL
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestDeviceGaps:
+    def test_no_gps_service_on_cider(self, cider):
+        """'Cider will not currently run iOS apps that depend on such
+        devices' — the location hardware simply is not in the registry."""
+
+        def body(ctx):
+            return ctx.libc.io_service_get_matching_service(
+                {"IOClass": "AppleLocationDevice"}
+            )
+
+        assert run_macho(cider, body) == IO_OBJECT_NULL
+
+    def test_yelp_style_fallback_path(self, cider):
+        """'If the iOS app has a fall-back code path, it can still
+        partially function ... Yelp simply assumes the user's current
+        location is unavailable, and continues to function.'"""
+
+        def body(ctx):
+            libc = ctx.libc
+
+            def current_location(app_ctx):
+                service = app_ctx.libc.io_service_get_matching_service(
+                    {"IOClass": "AppleLocationDevice"}
+                )
+                if not service:
+                    return None  # the fall-back: location unavailable
+                kr, connect = app_ctx.libc.io_service_open(service)
+                return app_ctx.libc.io_connect_call_method(connect, 0)
+
+            location = current_location(ctx)
+            # The app continues: renders nearby list without distances.
+            listing = ["Pizza Palace", "Noodle Bar"]
+            if location is None:
+                rendered = [f"{name} (distance unknown)" for name in listing]
+            else:
+                rendered = [f"{name} 0.3mi" for name in listing]
+            return location, rendered
+
+        location, rendered = run_macho(cider, body)
+        assert location is None
+        assert rendered == [
+            "Pizza Palace (distance unknown)",
+            "Noodle Bar (distance unknown)",
+        ]
+
+    def test_camera_dependent_app_fails_hard(self, cider):
+        """'an app such as Facetime that requires use of the camera does
+        not currently work with Cider' — no fall-back means failure."""
+
+        def body(ctx):
+            service = ctx.libc.io_service_get_matching_service(
+                {"IOClass": "AppleH4CamIn"}
+            )
+            if not service:
+                raise RuntimeError("camera required but not present")
+            return service
+
+        from repro.binfmt import macho_executable
+
+        image = macho_executable(
+            "facetime-like", lambda ctx, argv: body(ctx)
+        )
+        cider.kernel.vfs.install_binary("/data/facetime-like", image)
+        with pytest.raises(RuntimeError, match="camera required"):
+            cider.run_program("/data/facetime-like")
+
+
+class TestFenceBugIsDefaultOn:
+    def test_prototype_default_has_the_bug(self, cider):
+        assert cider.kernel.cider_config["fence_bug"] is True
+
+    def test_no_shared_cache_by_default(self, cider):
+        """'a shared library cache optimization that is not yet supported
+        in the Cider prototype.'"""
+        from repro.ios.dyld import SHARED_CACHE_PATH
+
+        assert cider.kernel.cider_config["shared_cache"] is False
+        assert not cider.kernel.vfs.exists(SHARED_CACHE_PATH)
+
+
+class TestSecurityModelNotMapped:
+    def test_no_permission_enforcement_between_personas(self, cider):
+        """'Cider does not map iOS security to Android security' — an iOS
+        app can open Android-side paths unchecked (future work)."""
+
+        def body(ctx):
+            fd = ctx.libc.open("/system/bin/hello")
+            return fd != -1
+
+        assert run_macho(cider, body)

@@ -1,0 +1,179 @@
+"""Tests for the Mach-O loader, dyld, and the shared-cache ablation."""
+
+import pytest
+
+from repro.binfmt import Arch, BinaryFormat, macho_executable
+from repro.cider.system import build_cider, build_ipad_mini
+from repro.ios.dyld import SHARED_CACHE_PATH
+from repro.ios.frameworks import TARGET_LIBRARY_COUNT, TARGET_TOTAL_MB
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestMachOLoader:
+    def test_thread_tagged_with_ios_persona(self, cider):
+        def body(ctx):
+            return ctx.thread.persona.name
+
+        assert run_macho(cider, body) == "ios"
+
+    def test_encrypted_binary_refused(self, cider):
+        image = macho_executable(
+            "encrypted-app", lambda ctx, argv: 0, encrypted=True
+        )
+        cider.kernel.vfs.install_binary("/data/encrypted-app", image)
+        with pytest.raises(Exception) as err:
+            cider.run_program("/data/encrypted-app")
+        assert "encrypted" in str(err.value)
+
+    def test_wrong_architecture_refused(self, cider):
+        image = macho_executable("x86-app", lambda ctx, argv: 0)
+        image.arch = Arch.X86
+        cider.kernel.vfs.install_binary("/data/x86-app", image)
+        with pytest.raises(Exception) as err:
+            cider.run_program("/data/x86-app")
+        assert "architecture" in str(err.value)
+
+    def test_ios_tls_materialised(self, cider):
+        def body(ctx):
+            tls = ctx.thread.tls()
+            return tls.layout.name, tls.layout.offset_of("errno")
+
+        layout, errno_offset = run_macho(cider, body)
+        assert layout == "ios"
+        from repro.persona import ANDROID_TLS_LAYOUT
+
+        # "the errno pointer is at a different location in the iOS TLS
+        # than in the Android TLS" (paper §4.3).
+        assert errno_offset != ANDROID_TLS_LAYOUT.offset_of("errno")
+
+
+class TestDyld:
+    def test_full_base_closure_mapped(self, cider):
+        """~115 libraries / ~90MB, regardless of what the binary uses."""
+
+        def body(ctx):
+            return (
+                len(
+                    [v for v in ctx.process.address_space if v.name.startswith("dylib:")]
+                ),
+                ctx.process.address_space.total_bytes,
+            )
+
+        libs, total = run_macho(cider, body)
+        assert libs == TARGET_LIBRARY_COUNT
+        assert total > TARGET_TOTAL_MB * 0.9 * 1024 * 1024
+
+    def test_dyld_stats_no_cache_on_cider(self, cider):
+        run_macho(cider, lambda ctx: 0)
+        stats = cider.ios.dyld.last_stats
+        assert stats.libraries_loaded == TARGET_LIBRARY_COUNT
+        assert stats.from_cache == 0
+        assert stats.walked_filesystem == TARGET_LIBRARY_COUNT
+
+    def test_atfork_and_atexit_handlers_registered_per_library(self, cider):
+        def body(ctx):
+            state = ctx.lib_state("libSystem")
+            return len(state["atfork"]), len(state["atexit"])
+
+        atfork, atexit = run_macho(cider, body)
+        assert atfork == TARGET_LIBRARY_COUNT
+        assert atexit == TARGET_LIBRARY_COUNT
+
+    def test_missing_dylib_fails(self, cider):
+        image = macho_executable(
+            "needy", lambda ctx, argv: 0, deps=["/usr/lib/libMissing.dylib"]
+        )
+        cider.kernel.vfs.install_binary("/data/needy", image)
+        with pytest.raises(Exception) as err:
+            cider.run_program("/data/needy")
+        assert "libMissing" in str(err.value)
+
+    def test_loaded_libraries_addressable_by_name_and_path(self, cider):
+        def body(ctx):
+            libs = ctx.process.loaded_libraries
+            return (
+                "UIKit" in libs,
+                "/System/Library/Frameworks/UIKit.framework/UIKit" in libs,
+            )
+
+        by_name, by_path = run_macho(cider, body)
+        assert by_name and by_path
+
+
+class TestSharedCacheAblation:
+    """The iPad's dyld optimisation, implementable on Cider (future work)."""
+
+    def test_ipad_loads_everything_from_cache(self):
+        ipad = build_ipad_mini()
+        try:
+            run_macho(ipad, lambda ctx: 0)
+            stats = ipad.ios.dyld.last_stats
+            assert stats.from_cache == TARGET_LIBRARY_COUNT
+            assert stats.walked_filesystem == 0
+        finally:
+            ipad.shutdown()
+
+    def test_cache_region_excluded_from_fork(self):
+        ipad = build_ipad_mini()
+        try:
+
+            def body(ctx):
+                space = ctx.process.address_space
+                return space.copied_on_fork_pages, space.total_pages
+
+            copied, total = run_macho(ipad, body)
+            # The ~90MB cache is a shared submap: only the app's own
+            # pages are duplicated by fork.
+            assert copied < total / 10
+        finally:
+            ipad.shutdown()
+
+    def test_cider_with_shared_cache_speeds_exec(self):
+        slow = build_cider(shared_cache=False)
+        fast = build_cider(shared_cache=True)
+        try:
+
+            def measure(system):
+                watch = system.machine.stopwatch()
+                system.run_program("/bin/hello-ios")
+                return watch.elapsed_ns()
+
+            slow_ns = measure(slow)
+            fast_ns = measure(fast)
+            assert fast_ns < slow_ns / 2
+        finally:
+            slow.shutdown()
+            fast.shutdown()
+
+    def test_cider_with_shared_cache_speeds_fork(self):
+        slow = build_cider(shared_cache=False)
+        fast = build_cider(shared_cache=True)
+        try:
+
+            def fork_time(ctx):
+                watch = ctx.machine.stopwatch()
+                pid = ctx.libc.fork(lambda cctx: 0)
+                ctx.libc.waitpid(pid)
+                return watch.elapsed_ns()
+
+            slow_ns = run_macho(slow, fork_time)
+            fast_ns = run_macho(fast, fork_time)
+            assert fast_ns < slow_ns / 2
+        finally:
+            slow.shutdown()
+            fast.shutdown()
+
+    def test_cache_file_present_when_enabled(self):
+        fast = build_cider(shared_cache=True)
+        try:
+            assert fast.kernel.vfs.exists(SHARED_CACHE_PATH)
+        finally:
+            fast.shutdown()

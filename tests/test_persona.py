@@ -1,0 +1,209 @@
+"""Tests for personas, TLS areas, and multi-persona processes."""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.persona import (
+    ANDROID_TLS_LAYOUT,
+    IOS_TLS_LAYOUT,
+    Persona,
+    PersonaRegistry,
+    TLSArea,
+    UnknownPersonaError,
+)
+from repro.kernel import errno as E
+
+from helpers import run_elf, run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestTLSLayouts:
+    def test_errno_at_different_offsets(self):
+        """Paper §4.3: 'the errno pointer is at a different location in
+        the iOS TLS than in the Android TLS.'"""
+        assert (
+            ANDROID_TLS_LAYOUT.offset_of("errno")
+            != IOS_TLS_LAYOUT.offset_of("errno")
+        )
+
+    def test_ios_layout_has_mach_slots(self):
+        assert "mach_thread_self" in IOS_TLS_LAYOUT.slots
+        assert "mig_reply" in IOS_TLS_LAYOUT.slots
+        assert "mach_thread_self" not in ANDROID_TLS_LAYOUT.slots
+
+    def test_tls_area_slot_access(self):
+        area = TLSArea(ANDROID_TLS_LAYOUT)
+        area.errno = 42
+        assert area.errno == 42
+        with pytest.raises(KeyError):
+            area.set("mig_reply", 1)  # not an Android slot
+
+    def test_fork_copy_independent(self):
+        parent = TLSArea(IOS_TLS_LAYOUT)
+        parent.errno = 7
+        child = parent.fork_copy()
+        child.errno = 9
+        assert parent.errno == 7
+
+
+class TestPersonaRegistry:
+    def test_first_registered_is_default(self):
+        registry = PersonaRegistry()
+        a = Persona("a", None, ANDROID_TLS_LAYOUT)
+        b = Persona("b", None, IOS_TLS_LAYOUT)
+        registry.register(a)
+        registry.register(b)
+        assert registry.default is a
+        assert registry.names() == ["a", "b"]
+
+    def test_explicit_default(self):
+        registry = PersonaRegistry()
+        a = Persona("a", None, ANDROID_TLS_LAYOUT)
+        b = Persona("b", None, IOS_TLS_LAYOUT)
+        registry.register(a)
+        registry.register(b, default=True)
+        assert registry.default is b
+
+    def test_unknown_persona(self):
+        with pytest.raises(UnknownPersonaError):
+            PersonaRegistry().get("martian")
+
+
+class TestPerThreadPersonas:
+    def test_each_thread_gets_own_tls_per_persona(self, cider):
+        def body(ctx):
+            ctx.thread.errno = 5
+            areas = {}
+
+            def other(tctx):
+                tctx.thread.errno = 9
+                areas["other"] = tctx.thread.errno
+                return 0
+
+            tid = ctx.libc.pthread_create(other)
+            ctx.libc.sched_yield()
+            areas["main"] = ctx.thread.errno
+            return areas
+
+        areas = run_macho(cider, body)
+        assert areas == {"main": 5, "other": 9}
+
+    def test_persona_inherited_on_fork(self, cider):
+        def body(ctx):
+            seen = {}
+
+            def child(cctx):
+                seen["child"] = cctx.thread.persona.name
+                return 0
+
+            pid = ctx.libc.fork(child)
+            ctx.libc.waitpid(pid)
+            seen["parent"] = ctx.thread.persona.name
+            return seen
+
+        assert run_macho(cider, body) == {"child": "ios", "parent": "ios"}
+
+    def test_persona_inherited_on_pthread_create(self, cider):
+        def body(ctx):
+            seen = {}
+
+            def worker(tctx):
+                seen["worker"] = tctx.thread.persona.name
+                return 0
+
+            ctx.libc.pthread_create(worker)
+            ctx.libc.sched_yield()
+            return seen
+
+        assert run_macho(cider, body) == {"worker": "ios"}
+
+    def test_multiple_personas_in_one_process_simultaneously(self, cider):
+        """The property §5.3 builds on: one thread on the domestic
+        persona while another stays foreign."""
+
+        def body(ctx):
+            from repro.compat.xnu_abi import SYS_set_persona
+
+            snapshot = {}
+
+            def gl_thread(tctx):
+                tctx.thread.trap(SYS_set_persona, "android")
+                snapshot["gl"] = tctx.thread.persona.name
+                snapshot["main_at_same_time"] = ctx.thread.persona.name
+                return 0
+
+            ctx.libc.pthread_create(gl_thread)
+            ctx.libc.sched_yield()
+            return snapshot
+
+        snapshot = run_macho(cider, body)
+        assert snapshot == {"gl": "android", "main_at_same_time": "ios"}
+
+    def test_set_persona_to_unknown_name_einval(self, cider):
+        def body(ctx):
+            return ctx.libc.set_persona("windows-phone"), ctx.libc.errno
+
+        result, errno = run_macho(cider, body)
+        assert result == -1
+        assert errno == E.EINVAL
+
+    def test_tls_areas_per_persona_coexist(self, cider):
+        def body(ctx):
+            from repro.compat.xnu_abi import SYS_set_persona
+
+            thread = ctx.thread
+            thread.errno = 11  # written to the iOS TLS
+            thread.trap(SYS_set_persona, "android")
+            thread.errno = 22  # written to the Android TLS
+            android_errno = thread.errno
+            thread.trap(SYS_set_persona, "ios")
+            return android_errno, thread.errno
+
+        android_errno, ios_errno = run_macho(cider, body)
+        assert android_errno == 22
+        assert ios_errno == 11  # the iOS area kept its value
+
+    def test_foreign_libc_misparses_domestic_convention(self, cider):
+        """Why diplomats exist: calling an iOS libc wrapper while on the
+        domestic persona gets the Linux return convention (a bare int)
+        where libSystem expects the XNU (value, carry) pair — exactly
+        the kind of breakage arbitration steps 2-9 prevent."""
+
+        def body(ctx):
+            from repro.compat.xnu_abi import SYS_set_persona
+
+            ctx.thread.trap(SYS_set_persona, "android")
+            try:
+                ctx.libc.getpid()  # IOSLibc under the Linux ABI
+            except TypeError:
+                return "misparsed"
+            finally:
+                ctx.thread.trap(983045, "ios")
+            return "worked"
+
+        assert run_macho(cider, body) == "misparsed"
+
+    def test_syscall_dispatch_follows_current_persona(self, cider):
+        """After set_persona the same trap numbers mean different
+        syscalls — the thread really is on the other ABI."""
+
+        def body(ctx):
+            from repro.compat.xnu_abi import SYS_set_persona
+
+            # 39 = mkdir on Linux, getppid on XNU.
+            ios_result = ctx.thread.trap(39)  # XNU getppid -> (value, carry)
+            ctx.thread.trap(SYS_set_persona, "android")
+            linux_result = ctx.thread.trap(39, "/tmp/made-by-linux-39")
+            ctx.thread.trap(SYS_set_persona, "ios")
+            return ios_result, linux_result
+
+        ios_result, linux_result = run_macho(cider, body)
+        assert isinstance(ios_result, tuple)  # XNU convention
+        assert linux_result == 0
+        assert cider.kernel.vfs.exists("/tmp/made-by-linux-39")

@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.android.dalvik import DalvikVM, _wrap32, assemble
+from repro.compat.signals import SignalTranslator
+from repro.hw.display import PixelBuffer
+from repro.hw.profiles import nexus7
+from repro.kernel.mm import PAGE_SIZE, AddressSpace
+from repro.kernel.vfs import VFS
+from repro.sim import CostModel, VirtualClock
+from repro.xnu.ipc import IPCSpace, RIGHT_RECEIVE, RIGHT_SEND
+
+
+# -- virtual clock --------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=50))
+def test_clock_charges_accumulate_exactly(charges):
+    clock = VirtualClock()
+    for ns in charges:
+        clock.charge(ns)
+    assert clock.now_ns == sum(charges)
+    assert clock.charged_ns == clock.now_ns
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=20)
+)
+def test_clock_monotonic(charges):
+    clock = VirtualClock()
+    previous = 0.0
+    for ns in charges:
+        clock.charge(ns)
+        assert clock.now_ns >= previous
+        previous = clock.now_ns
+
+
+# -- cost model --------------------------------------------------------------------
+
+
+@given(st.floats(min_value=0.1, max_value=100))
+def test_scaled_model_scales_only_listed_costs(factor):
+    base = CostModel()
+    scaled = base.scaled("s", factor, "op_int_mul")
+    assert scaled["op_int_mul"] == base["op_int_mul"] * factor
+    assert scaled["op_int_div"] == base["op_int_div"]
+
+
+# -- signal translation ----------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=31))
+def test_signal_translation_round_trips(signum):
+    translator = SignalTranslator()
+    assert translator.to_linux(translator.to_xnu(signum)) == signum
+    assert translator.to_xnu(translator.to_linux(signum)) == signum
+
+
+@given(st.sets(st.integers(min_value=1, max_value=31), min_size=2))
+def test_signal_translation_is_injective(signums):
+    translator = SignalTranslator()
+    mapped = {translator.to_xnu(s) for s in signums}
+    assert len(mapped) == len(signums)
+
+
+# -- VFS paths ---------------------------------------------------------------------------
+
+_name = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(st.lists(_name, min_size=1, max_size=5, unique=True))
+def test_vfs_create_resolve_roundtrip(parts):
+    vfs = VFS(nexus7().boot())
+    path = "/" + "/".join(parts)
+    vfs.makedirs(path)
+    assert vfs.exists(path)
+    file_path = path + "/leaf"
+    vfs.create_file(file_path, data=b"x")
+    assert vfs.resolve(file_path).size_bytes == 1
+    assert file_path in vfs.walk("/")
+
+
+@given(st.lists(_name, min_size=1, max_size=6))
+def test_vfs_split_never_produces_empty_components(parts):
+    raw = "//".join(parts) + "///"
+    for component in VFS.split(raw):
+        assert component
+        assert component != "."
+
+
+# -- address space ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(_name, st.integers(min_value=0, max_value=10 * PAGE_SIZE)),
+        max_size=20,
+    )
+)
+def test_address_space_page_accounting(mappings):
+    space = AddressSpace()
+    for name, size in mappings:
+        space.map(name, size)
+    expected_pages = sum(
+        (size + PAGE_SIZE - 1) // PAGE_SIZE for _name, size in mappings
+    )
+    assert space.total_pages == expected_pages
+    child = space.fork_copy()
+    assert child.total_pages == expected_pages
+
+
+# -- Mach IPC name spaces -------------------------------------------------------------------
+
+
+class _FakeXNU:
+    def lck_mtx_alloc(self, name="m"):
+        return object()
+
+
+@given(st.integers(min_value=1, max_value=40))
+def test_ipc_names_unique_and_stride_aligned(count):
+    space = IPCSpace(_FakeXNU(), task=object())
+    names = [space.insert_right(object(), RIGHT_RECEIVE) for _ in range(count)]
+    assert len(set(names)) == count
+    for name in names:
+        assert (name - IPCSpace.FIRST_NAME) % IPCSpace.NAME_STRIDE == 0
+
+
+@given(st.integers(min_value=2, max_value=20))
+def test_ipc_send_rights_coalesce(count):
+    space = IPCSpace(_FakeXNU(), task=object())
+    port = object()
+    names = {space.insert_right(port, RIGHT_SEND) for _ in range(count)}
+    assert len(names) == 1
+    only = names.pop()
+    assert space.lookup(only).refs == count
+
+
+# -- pixel buffers ------------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=20, max_value=800),
+    st.integers(min_value=40, max_value=800),
+    st.integers(min_value=0, max_value=799),
+    st.integers(min_value=0, max_value=799),
+)
+def test_pixelbuffer_fill_then_probe(width, height, x, y):
+    buffer = PixelBuffer(width, height)
+    buffer.fill_rect(0, 0, width, height, "#")
+    assert buffer.cell_at(min(x, width - 1), min(y, height - 1)) == "#"
+
+
+@given(st.integers(min_value=20, max_value=400), st.integers(min_value=40, max_value=400))
+def test_pixelbuffer_snapshot_equality(width, height):
+    buffer = PixelBuffer(width, height)
+    buffer.draw_text(0, 0, "xyz")
+    assert buffer.snapshot().to_text() == buffer.to_text()
+
+
+# -- Dalvik 32-bit arithmetic ----------------------------------------------------------------------
+
+
+@given(st.integers(), st.integers())
+def test_wrap32_matches_c_semantics(a, b):
+    result = _wrap32(a + b)
+    assert -(2**31) <= result < 2**31
+    assert (result - (a + b)) % (2**32) == 0
+
+
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_dalvik_arith_matches_python(a, b):
+    source = """
+    .method add
+    .registers 3
+        add-int v0, v0, v1
+        return v0
+    .end method
+    .method mul
+    .registers 3
+        mul-int v0, v0, v1
+        return v0
+    .end method
+    """
+    from repro.cider.system import build_vanilla_android
+    from helpers import run_elf
+
+    system = build_vanilla_android()
+    try:
+
+        def body(ctx):
+            vm = DalvikVM(ctx, assemble("t.dex", source))
+            return vm.invoke("add", a, b), vm.invoke("mul", a, b)
+
+        added, multiplied = run_elf(system, body)
+        assert added == a + b
+        assert multiplied == a * b
+    finally:
+        system.shutdown()
+
+
+# -- scheduler determinism under random interleavings ---------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["sleep", "yield", "work"]),
+            st.integers(min_value=1, max_value=1000),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_scheduler_timeline_reproducible(program, nthreads):
+    """Any mix of sleeps, yields and work across N threads produces a
+    bit-identical virtual timeline on re-execution."""
+    from repro.sim import Scheduler, VirtualClock
+
+    def execute():
+        clock = VirtualClock()
+        sched = Scheduler(clock)
+        timeline = []
+
+        def worker(tag):
+            for action, amount in program:
+                if action == "sleep":
+                    sched.sleep(amount)
+                elif action == "yield":
+                    sched.yield_control()
+                else:
+                    clock.charge(amount)
+                timeline.append((tag, clock.now_ns))
+
+        for index in range(nthreads):
+            sched.spawn(lambda i=index: worker(i), name=f"w{index}")
+        sched.run()
+        sched.shutdown()
+        return timeline
+
+    assert execute() == execute()

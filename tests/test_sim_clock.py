@@ -1,0 +1,78 @@
+"""Tests for the virtual clock and cost model."""
+
+import pytest
+
+from repro.sim import CostModel, Stopwatch, UnknownCostError, VirtualClock
+from repro.sim.errors import ClockError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0.0
+
+    def test_charge_advances(self):
+        clock = VirtualClock()
+        clock.charge(10)
+        clock.charge(5.5)
+        assert clock.now_ns == 15.5
+        assert clock.charged_ns == 15.5
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().charge(-1)
+
+    def test_jump_to_moves_forward_only(self):
+        clock = VirtualClock()
+        clock.jump_to(100)
+        assert clock.now_ns == 100
+        with pytest.raises(ClockError):
+            clock.jump_to(50)
+
+    def test_jump_does_not_count_as_charged(self):
+        clock = VirtualClock()
+        clock.jump_to(1000)
+        assert clock.charged_ns == 0.0
+
+    def test_stopwatch(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        clock.charge(2_500_000)
+        assert watch.elapsed_ns() == 2_500_000
+        assert watch.elapsed_us() == 2_500
+        assert watch.elapsed_ms() == 2.5
+        watch.restart()
+        assert watch.elapsed_ns() == 0
+
+
+class TestCostModel:
+    def test_default_lookup(self):
+        model = CostModel()
+        assert model["syscall_entry"] > 0
+
+    def test_unknown_cost_rejected(self):
+        model = CostModel()
+        with pytest.raises(UnknownCostError):
+            model["nonsense_cost"]
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(UnknownCostError):
+            CostModel({"nonsense_cost": 1.0})
+
+    def test_derive_overrides_without_mutating_base(self):
+        base = CostModel()
+        derived = base.derive("fast", syscall_entry=1.0)
+        assert derived["syscall_entry"] == 1.0
+        assert base["syscall_entry"] != 1.0
+
+    def test_scaled(self):
+        base = CostModel()
+        scaled = base.scaled("slow", 2.0, "op_int_mul", "op_int_div")
+        assert scaled["op_int_mul"] == base["op_int_mul"] * 2.0
+        assert scaled["op_int_div"] == base["op_int_div"] * 2.0
+        assert scaled["op_int_add"] == base["op_int_add"]
+
+    def test_contains_and_iter(self):
+        model = CostModel()
+        assert "syscall_entry" in model
+        assert "nonsense" not in model
+        assert "syscall_entry" in set(iter(model))

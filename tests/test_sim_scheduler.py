@@ -1,0 +1,261 @@
+"""Tests for the deterministic cooperative scheduler."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Scheduler,
+    ThreadState,
+    VirtualClock,
+    WaitQueue,
+)
+
+
+@pytest.fixture
+def sched():
+    scheduler = Scheduler(VirtualClock())
+    yield scheduler
+    scheduler.shutdown()
+
+
+def test_single_thread_runs_to_completion(sched):
+    log = []
+    sched.spawn(lambda: log.append("ran"), name="t")
+    sched.run()
+    assert log == ["ran"]
+
+
+def test_thread_result_via_run_until_done(sched):
+    thread = sched.spawn(lambda: 42, name="t")
+    assert sched.run_until_done(thread) == 42
+
+
+def test_thread_exception_propagates_to_controller(sched):
+    def boom():
+        raise ValueError("bang")
+
+    thread = sched.spawn(boom, name="t")
+    with pytest.raises(ValueError, match="bang"):
+        sched.run_until_done(thread)
+
+
+def test_spawn_order_is_fifo(sched):
+    log = []
+    for i in range(5):
+        sched.spawn(lambda i=i: log.append(i), name=f"t{i}")
+    sched.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_yield_interleaves_round_robin(sched):
+    log = []
+
+    def worker(tag):
+        for _ in range(3):
+            log.append(tag)
+            sched.yield_control()
+
+    sched.spawn(lambda: worker("a"), name="a")
+    sched.spawn(lambda: worker("b"), name="b")
+    sched.run()
+    assert log == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_block_and_wake_one(sched):
+    waitq = WaitQueue("q")
+    log = []
+
+    def waiter():
+        log.append("before")
+        sched.block_on(waitq)
+        log.append("after")
+
+    def waker():
+        log.append("waking")
+        waitq.wake_one()
+
+    sched.spawn(waiter, name="waiter")
+    sched.spawn(waker, name="waker")
+    sched.run()
+    assert log == ["before", "waking", "after"]
+
+
+def test_wake_all_releases_every_waiter(sched):
+    waitq = WaitQueue("q")
+    released = []
+
+    def waiter(tag):
+        sched.block_on(waitq)
+        released.append(tag)
+
+    for tag in "abc":
+        sched.spawn(lambda tag=tag: waiter(tag), name=tag)
+    sched.spawn(lambda: waitq.wake_all(), name="waker")
+    sched.run()
+    assert sorted(released) == ["a", "b", "c"]
+
+
+def test_deadlock_detected(sched):
+    waitq = WaitQueue("never")
+    sched.spawn(lambda: sched.block_on(waitq), name="stuck")
+    with pytest.raises(DeadlockError):
+        sched.run()
+
+
+def test_daemon_thread_does_not_block_completion(sched):
+    waitq = WaitQueue("service")
+    sched.spawn(lambda: sched.block_on(waitq), name="svc", daemon=True)
+    sched.spawn(lambda: None, name="work")
+    sched.run()  # must not raise DeadlockError
+
+
+def test_sleep_advances_virtual_clock(sched):
+    clock = sched.clock
+
+    def sleeper():
+        sched.sleep(1_000_000)
+
+    sched.spawn(sleeper, name="s")
+    sched.run()
+    assert clock.now_ns == 1_000_000
+
+
+def test_sleep_ordering_between_threads(sched):
+    log = []
+
+    def sleeper(tag, ns):
+        sched.sleep(ns)
+        log.append((tag, sched.clock.now_ns))
+
+    sched.spawn(lambda: sleeper("late", 2000), name="late")
+    sched.spawn(lambda: sleeper("early", 1000), name="early")
+    sched.run()
+    assert log == [("early", 1000), ("late", 2000)]
+
+
+def test_block_on_timeout_times_out(sched):
+    waitq = WaitQueue("q")
+    outcome = []
+
+    def waiter():
+        outcome.append(sched.block_on_timeout(waitq, 5000))
+
+    sched.spawn(waiter, name="w")
+    sched.run()
+    assert outcome == [False]
+    assert sched.clock.now_ns == 5000
+
+
+def test_block_on_timeout_woken_in_time(sched):
+    waitq = WaitQueue("q")
+    outcome = []
+
+    def waiter():
+        outcome.append(sched.block_on_timeout(waitq, 5_000_000))
+
+    def waker():
+        waitq.wake_one()
+
+    sched.spawn(waiter, name="w")
+    sched.spawn(waker, name="k")
+    sched.run()
+    assert outcome == [True]
+    assert sched.clock.now_ns < 5_000_000
+
+
+def test_join_returns_result(sched):
+    results = []
+
+    def parent():
+        child = sched.spawn(lambda: "child-result", name="child")
+        results.append(sched.join(child))
+
+    sched.spawn(parent, name="parent")
+    sched.run()
+    assert results == ["child-result"]
+
+
+def test_join_reraises_child_failure(sched):
+    failures = []
+
+    def child_body():
+        raise RuntimeError("child died")
+
+    def parent():
+        child = sched.spawn(child_body, name="child")
+        try:
+            sched.join(child)
+        except RuntimeError as exc:
+            failures.append(str(exc))
+
+    sched.spawn(parent, name="parent")
+    sched.run()
+    assert failures == ["child died"]
+
+
+def test_shutdown_kills_blocked_threads(sched):
+    waitq = WaitQueue("forever")
+    sched.spawn(lambda: sched.block_on(waitq), name="stuck", daemon=True)
+    sched.spawn(lambda: None, name="done")
+    sched.run()
+    sched.shutdown()
+    assert list(sched.live_threads()) == []
+
+
+def test_determinism_same_program_same_timeline():
+    def program(scheduler):
+        waitq = WaitQueue("q")
+        order = []
+
+        def ping():
+            for _ in range(10):
+                scheduler.sleep(100)
+                order.append(("ping", scheduler.clock.now_ns))
+                waitq.wake_one()
+
+        def pong():
+            for _ in range(10):
+                scheduler.block_on(waitq)
+                order.append(("pong", scheduler.clock.now_ns))
+
+        scheduler.spawn(pong, name="pong")
+        scheduler.spawn(ping, name="ping")
+        scheduler.run()
+        scheduler.shutdown()
+        return order
+
+    first = program(Scheduler(VirtualClock()))
+    second = program(Scheduler(VirtualClock()))
+    assert first == second
+    assert len(first) == 20
+
+
+def test_thread_states_visible(sched):
+    waitq = WaitQueue("q")
+
+    def waiter():
+        sched.block_on(waitq)
+
+    thread = sched.spawn(waiter, name="w")
+    # Not yet run: READY.
+    assert thread.state is ThreadState.READY
+    with pytest.raises(DeadlockError):
+        sched.run()
+    assert thread.state is ThreadState.BLOCKED
+    waitq.wake_one()
+    sched.run()
+    assert thread.state is ThreadState.DONE
+
+
+def test_nested_spawn_from_sim_thread(sched):
+    log = []
+
+    def parent():
+        log.append("parent")
+        child = sched.spawn(lambda: log.append("child"), name="child")
+        sched.join(child)
+        log.append("joined")
+
+    sched.spawn(parent, name="parent")
+    sched.run()
+    assert log == ["parent", "child", "joined"]

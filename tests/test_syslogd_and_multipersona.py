@@ -1,0 +1,138 @@
+"""syslogd (the last of the §3 background services) and the §4.3
+multi-persona graphics scenario."""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.ios.services import SYSLOGD_SERVICE, syslog_send
+from repro.xnu.ipc import MACH_PORT_NULL
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestSyslogd:
+    def test_syslogd_registered_and_running(self, cider):
+        names = {p.name for p in cider.kernel.processes.live_processes()}
+        assert "syslogd" in names
+
+        def body(ctx):
+            return ctx.libc.bootstrap_look_up(SYSLOGD_SERVICE)
+
+        assert run_macho(cider, body) != MACH_PORT_NULL
+
+    def test_nslog_lands_in_asl_log(self, cider):
+        def body(ctx):
+            ctx.dlsym("Foundation", "_NSLog")("unit-test line")
+            return 0
+
+        run_macho(cider, body)
+        cider.run_until_idle()  # let syslogd drain its queue
+        node = cider.kernel.vfs.resolve("/var/log/asl.log")
+        assert b"unit-test line" in bytes(node.data)
+
+    def test_log_lines_tagged_with_sender(self, cider):
+        def body(ctx):
+            syslog_send(ctx, "tagged entry")
+            return 0
+
+        run_macho(cider, body, name="tagger")
+        cider.run_until_idle()
+        node = cider.kernel.vfs.resolve("/var/log/asl.log")
+        assert b"<tagger>" in bytes(node.data)
+
+
+class TestMultiPersonaGraphicsScenario:
+    def test_gl_thread_domestic_while_input_thread_foreign(self, cider):
+        """Paper §4.3: 'while one thread executes complicated OpenGL ES
+        rendering algorithms using the domestic persona, another thread
+        in the same app can simultaneously process input data using the
+        foreign persona.'"""
+
+        def body(ctx):
+            libc = ctx.libc
+            from repro.android import gles as agl
+            from repro.compat.xnu_abi import SYS_set_persona
+            from repro.xnu.ipc import MachMessage
+
+            _, input_port = libc.mach_port_allocate()
+            observed = {"frames": 0, "events": 0}
+            personas = {}
+
+            from repro.kernel.syscalls_linux import NR_sched_yield
+
+            def render_thread(tctx):
+                # Switch to the domestic persona and stay there, driving
+                # the Android GL library directly.  Note: once on the
+                # domestic persona, syscalls follow the *Linux* calling
+                # convention — the iOS libc wrappers would misparse the
+                # results (that mismatch is exactly what diplomats hide).
+                tctx.thread.trap(SYS_set_persona, "android")
+                personas["render"] = tctx.thread.persona.name
+                agl.make_current(tctx, agl.GLContext())
+                for _ in range(3):
+                    agl.glDrawArrays(tctx, agl.GL_TRIANGLES, 0, 30)
+                    agl.glFinish(tctx)
+                    observed["frames"] += 1
+                    tctx.thread.trap(NR_sched_yield)
+                return 0
+
+            def input_thread(tctx):
+                personas["input"] = tctx.thread.persona.name
+                while observed["events"] < 2:
+                    code, msg = tctx.libc.mach_msg_receive(input_port)
+                    if code != 0:
+                        break
+                    observed["events"] += 1
+                return 0
+
+            libc.pthread_create(render_thread, name="gl")
+            libc.pthread_create(input_thread, name="input")
+            libc.sched_yield()
+            for index in range(2):
+                libc.mach_msg_send(input_port, MachMessage(index, body="tap"))
+                libc.sched_yield()
+            while observed["events"] < 2 or observed["frames"] < 3:
+                libc.sched_yield()
+            personas["main"] = ctx.thread.persona.name
+            return observed, personas
+
+        observed, personas = run_macho(cider, body)
+        assert observed == {"frames": 3, "events": 2}
+        assert personas["render"] == "android"
+        assert personas["input"] == "ios"
+        assert personas["main"] == "ios"
+
+    def test_gpu_work_and_mach_ipc_interleave(self, cider):
+        """Both sides made real progress: vertices reached the GPU and
+        messages crossed the duct-taped IPC subsystem."""
+        gpu_before = cider.machine.gpu.vertices_processed
+        ipc_before = cider.kernel.mach_subsystem.messages_received
+
+        def body(ctx):
+            from repro.android import gles as agl
+            from repro.diplomacy.diplomat import run_with_persona
+            from repro.xnu.ipc import MachMessage
+
+            libc = ctx.libc
+            _, port = libc.mach_port_allocate()
+            libc.mach_msg_send(port, MachMessage(1))
+            libc.mach_msg_receive(port)
+
+            def draw(dctx):
+                agl.make_current(dctx, agl.GLContext())
+                agl.glDrawArrays(dctx, agl.GL_TRIANGLES, 0, 99)
+                agl.glFinish(dctx)
+
+            run_with_persona(ctx, "android", draw)
+            return 0
+
+        run_macho(cider, body)
+        assert cider.machine.gpu.vertices_processed - gpu_before == 99
+        assert cider.kernel.mach_subsystem.messages_received > ipc_before

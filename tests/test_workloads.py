@@ -1,0 +1,126 @@
+"""Sanity tests for the lmbench and PassMark workload implementations."""
+
+import pytest
+
+from repro.binfmt import BinaryFormat
+from repro.cider.system import build_cider, build_vanilla_android
+from repro.workloads.lmbench import LMBENCH_TESTS, install_lmbench, lmbench_suite
+from repro.workloads.passmark import (
+    PASSMARK_TESTS,
+    install_passmark,
+)
+
+
+@pytest.fixture(scope="module")
+def vanilla_sys():
+    system = build_vanilla_android()
+    yield system
+    system.shutdown()
+
+
+@pytest.fixture(scope="module")
+def cider_sys():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestLmbenchSuite:
+    def test_both_builds_cover_all_tests(self):
+        elf = lmbench_suite("elf")
+        macho = lmbench_suite("macho")
+        assert set(elf) == set(macho) == set(LMBENCH_TESTS)
+
+    def test_elf_build_uses_gcc_macho_uses_xcode(self):
+        assert lmbench_suite("elf")["ops"].compiler.name == "gcc-4.4.1"
+        assert lmbench_suite("macho")["ops"].compiler.name == "xcode-4.2.1"
+        assert lmbench_suite("elf")["ops"].format is BinaryFormat.ELF
+        assert lmbench_suite("macho")["ops"].format is BinaryFormat.MACHO
+
+    def test_install_returns_paths(self, vanilla_sys):
+        paths = install_lmbench(vanilla_sys.kernel, "elf")
+        assert set(paths) == set(LMBENCH_TESTS)
+        for path in paths.values():
+            assert vanilla_sys.kernel.vfs.exists(path)
+
+    def test_every_simple_test_reports_positive_latency(self, vanilla_sys):
+        paths = install_lmbench(vanilla_sys.kernel, "elf")
+        out = {}
+        for name in ("null_syscall", "read", "write", "open_close", "signal"):
+            vanilla_sys.run_program(
+                paths[name], [paths[name], {"out": out, "iters": 3}]
+            )
+        for key, value in out.items():
+            assert value > 0, key
+
+    def test_ops_reflect_compiler_profile(self, cider_sys):
+        paths_elf = install_lmbench(cider_sys.kernel, "elf")
+        paths_macho = install_lmbench(cider_sys.kernel, "macho")
+        elf_out, macho_out = {}, {}
+        cider_sys.run_program(
+            paths_elf["ops"], [paths_elf["ops"], {"out": elf_out}]
+        )
+        cider_sys.run_program(
+            paths_macho["ops"], [paths_macho["ops"], {"out": macho_out}]
+        )
+        assert macho_out["int_div"] == pytest.approx(
+            elf_out["int_div"] * 1.45, rel=0.02
+        )
+        assert macho_out["int_mul"] == pytest.approx(elf_out["int_mul"], rel=0.02)
+
+    def test_select_failure_reported_as_nan(self, vanilla_sys):
+        import math
+
+        paths = install_lmbench(vanilla_sys.kernel, "elf")
+        out = {}
+        vanilla_sys.run_program(
+            paths["select"],
+            [paths["select"], {"out": out, "iters": 2, "fd_counts": (10,)}],
+        )
+        assert not math.isnan(out["select_10"])
+
+
+class TestPassmarkSuite:
+    def test_android_build_runs_all_tests(self, vanilla_sys):
+        path = install_passmark(vanilla_sys.kernel, "android")
+        out = {}
+        code = vanilla_sys.run_program(path, [path, {"out": out}])
+        assert code == 0
+        assert set(out) == set(PASSMARK_TESTS)
+        assert all(score > 0 for score in out.values())
+
+    def test_ios_build_runs_all_tests_on_cider(self, cider_sys):
+        path = install_passmark(cider_sys.kernel, "ios")
+        out = {}
+        code = cider_sys.run_program(path, [path, {"out": out}])
+        assert code == 0
+        assert set(out) == set(PASSMARK_TESTS)
+        assert all(score > 0 for score in out.values())
+
+    def test_android_cpu_tests_actually_interpret_bytecode(self, vanilla_sys):
+        """The CPU gap must come from real interpretation: the dex loops
+        retire thousands of instructions."""
+        from repro.android.dalvik import DalvikVM
+
+        path = install_passmark(vanilla_sys.kernel, "android")
+        vanilla_sys.machine.trace.clear()
+        out = {}
+        vanilla_sys.run_program(
+            path, [path, {"out": out, "tests": ["cpu_integer"]}]
+        )
+        # cpu_integer: 1500 iterations x 6 insns/loop (+ prologue).
+        assert out["cpu_integer"] > 0
+
+    def test_subset_selection(self, cider_sys):
+        path = install_passmark(cider_sys.kernel, "ios")
+        out = {}
+        cider_sys.run_program(
+            path, [path, {"out": out, "tests": ["storage_write"]}]
+        )
+        assert list(out) == ["storage_write"]
+
+    def test_ios_binary_refused_on_vanilla(self, vanilla_sys):
+        path = install_passmark(vanilla_sys.kernel, "ios")
+        with pytest.raises(Exception) as err:
+            vanilla_sys.run_program(path)
+        assert "binfmt" in str(err.value) or "ENOEXEC" in str(err.value)

@@ -1,0 +1,215 @@
+"""Tests for duct-taped psynch (pthread support) and Mach semaphores."""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.xnu.ipc import KERN_INVALID_NAME, KERN_SUCCESS
+from repro.xnu.pthread_support import PSYNCH_SUCCESS, PSYNCH_TIMEDOUT
+from repro.xnu.sync_sema import KERN_OPERATION_TIMED_OUT
+
+from helpers import run_macho
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+class TestPsynchMutex:
+    def test_uncontended_lock_unlock(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            mutex = libc.pthread_mutex_init()
+            assert libc.pthread_mutex_lock(mutex) == PSYNCH_SUCCESS
+            assert libc.pthread_mutex_unlock(mutex) == PSYNCH_SUCCESS
+            return True
+
+        assert run_macho(system, body)
+
+    def test_contended_lock_blocks_until_drop(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            mutex = libc.pthread_mutex_init()
+            order = []
+            libc.pthread_mutex_lock(mutex)
+
+            def contender(tctx):
+                tctx.libc.pthread_mutex_lock(mutex)
+                order.append("contender")
+                tctx.libc.pthread_mutex_unlock(mutex)
+                return 0
+
+            libc.pthread_create(contender)
+            libc.sched_yield()  # give the contender a chance to block
+            order.append("owner")
+            libc.pthread_mutex_unlock(mutex)
+            libc.sched_yield()
+            return order
+
+        assert run_macho(system, body) == ["owner", "contender"]
+
+    def test_mutual_exclusion_across_threads(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            mutex = libc.pthread_mutex_init()
+            state = {"inside": 0, "max_inside": 0, "done": 0}
+
+            def worker(tctx):
+                tlibc = tctx.libc
+                for _ in range(3):
+                    tlibc.pthread_mutex_lock(mutex)
+                    state["inside"] += 1
+                    state["max_inside"] = max(
+                        state["max_inside"], state["inside"]
+                    )
+                    tlibc.sched_yield()  # try to interleave
+                    state["inside"] -= 1
+                    tlibc.pthread_mutex_unlock(mutex)
+                state["done"] += 1
+                return 0
+
+            libc.pthread_create(worker)
+            libc.pthread_create(worker)
+            while state["done"] < 2:
+                libc.sched_yield()
+            return state["max_inside"]
+
+        assert run_macho(system, body) == 1
+
+
+class TestPsynchCondvar:
+    def test_signal_wakes_waiter(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            mutex = libc.pthread_mutex_init()
+            cv = libc.pthread_cond_init()
+            events = []
+
+            def waiter(tctx):
+                tlibc = tctx.libc
+                tlibc.pthread_mutex_lock(mutex)
+                tlibc.pthread_cond_wait(cv, mutex)
+                events.append("woken")
+                tlibc.pthread_mutex_unlock(mutex)
+                return 0
+
+            libc.pthread_create(waiter)
+            libc.sched_yield()
+            libc.pthread_mutex_lock(mutex)
+            events.append("signalling")
+            libc.pthread_cond_signal(cv)
+            libc.pthread_mutex_unlock(mutex)
+            libc.sched_yield()
+            return events
+
+        assert run_macho(system, body) == ["signalling", "woken"]
+
+    def test_broadcast_wakes_all(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            mutex = libc.pthread_mutex_init()
+            cv = libc.pthread_cond_init()
+            woken = []
+
+            def waiter(tag):
+                def run(tctx):
+                    tlibc = tctx.libc
+                    tlibc.pthread_mutex_lock(mutex)
+                    tlibc.pthread_cond_wait(cv, mutex)
+                    woken.append(tag)
+                    tlibc.pthread_mutex_unlock(mutex)
+                    return 0
+
+                return run
+
+            for tag in "abc":
+                libc.pthread_create(waiter(tag))
+            libc.sched_yield()
+            libc.pthread_mutex_lock(mutex)
+            libc.pthread_cond_broadcast(cv)
+            libc.pthread_mutex_unlock(mutex)
+            for _ in range(8):
+                libc.sched_yield()
+            return sorted(woken)
+
+        assert run_macho(system, body) == ["a", "b", "c"]
+
+    def test_cvwait_timeout(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            mutex = libc.pthread_mutex_init()
+            cv = libc.pthread_cond_init()
+            libc.pthread_mutex_lock(mutex)
+            result = libc.pthread_cond_wait(cv, mutex, timeout_ns=10_000)
+            libc.pthread_mutex_unlock(mutex)
+            return result
+
+        assert run_macho(system, body) == PSYNCH_TIMEDOUT
+
+
+class TestMachSemaphores:
+    def test_signal_then_wait(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            kr, sema = libc.semaphore_create(0)
+            assert kr == KERN_SUCCESS
+            libc.semaphore_signal(sema)
+            return libc.semaphore_wait(sema)
+
+        assert run_macho(system, body) == KERN_SUCCESS
+
+    def test_initial_value_consumed(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            _, sema = libc.semaphore_create(2)
+            results = [libc.semaphore_wait(sema), libc.semaphore_wait(sema)]
+            results.append(libc.semaphore_timedwait(sema, 5000))
+            return results
+
+        assert run_macho(system, body) == [
+            KERN_SUCCESS,
+            KERN_SUCCESS,
+            KERN_OPERATION_TIMED_OUT,
+        ]
+
+    def test_wait_blocks_until_signalled(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            _, sema = libc.semaphore_create(0)
+            order = []
+
+            def signaller(tctx):
+                order.append("signal")
+                tctx.libc.semaphore_signal(sema)
+                return 0
+
+            libc.pthread_create(signaller)
+            result = libc.semaphore_wait(sema)
+            order.append("woken")
+            return result, order
+
+        result, order = run_macho(system, body)
+        assert result == KERN_SUCCESS
+        assert order == ["signal", "woken"]
+
+    def test_destroy_wakes_waiters_with_error(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            _, sema = libc.semaphore_create(0)
+
+            def destroyer(tctx):
+                tctx.libc.semaphore_destroy(sema)
+                return 0
+
+            libc.pthread_create(destroyer)
+            return libc.semaphore_wait(sema)
+
+        assert run_macho(system, body) == KERN_INVALID_NAME
+
+    def test_unknown_semaphore(self, system):
+        def body(ctx):
+            return ctx.libc.semaphore_signal(0xFFFF)
+
+        assert run_macho(system, body) == KERN_INVALID_NAME
