@@ -118,6 +118,22 @@ class Diplomat:
         machine.charge("diplomat_overhead")  # steps 2/4/6/9
         machine.emit("diplomat", self.foreign_symbol)
 
+        if machine.faults is not None:
+            outcome = machine.faults.check(
+                "diplomat.switch",
+                symbol=self.foreign_symbol,
+                to=self.domestic_persona,
+            )
+            injected = ctx.kernel.apply_fault_errno(ctx.process, outcome)
+            if injected is not None:
+                # The persona switch failed transiently; surface it the
+                # way a real stub would — errno in the *foreign* TLS.
+                thread.tls().errno = injected
+                raise SyscallError(
+                    injected,
+                    f"diplomat {self.foreign_symbol}: persona switch fault",
+                )
+
         calling_persona = thread.persona.name
         _switch_persona(ctx, self.domestic_persona)  # step 3
         try:

@@ -186,3 +186,34 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
 
     def charge(self, cost_name: str, times: float = 1) -> None:
         self._machine.charge(cost_name, times)
+
+    # -- fault injection ---------------------------------------------------------------------
+
+    @property
+    def fault_active(self) -> bool:  # type: ignore[override]
+        return self._machine.faults is not None
+
+    def fault(self, point: str, **detail: object) -> Optional[object]:
+        """Consult the machine's fault plan.  Delay outcomes are applied
+        here (virtual-time stall); signal outcomes are posted to the
+        current process; only errno/kern outcomes are returned for the
+        foreign code to interpret."""
+        plan = self._machine.faults
+        if plan is None:
+            return None
+        outcome = plan.check(point, **detail)
+        if outcome is None:
+            return None
+        from ..sim.faults import KIND_DELAY, KIND_SIGNAL
+
+        if outcome.kind == KIND_DELAY:
+            self._machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+            return None
+        if outcome.kind == KIND_SIGNAL:
+            thread = self._kernel.current_kthread_or_none()
+            if thread is not None:
+                self._kernel.send_signal_to_process(
+                    thread.process, int(outcome.value)  # type: ignore[call-overload]
+                )
+            return None
+        return outcome

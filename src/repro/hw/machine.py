@@ -11,7 +11,15 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional
 
-from ..sim import CostModel, Scheduler, SimThread, Stopwatch, Trace, VirtualClock
+from ..sim import (
+    CostModel,
+    FaultPlan,
+    Scheduler,
+    SimThread,
+    Stopwatch,
+    Trace,
+    VirtualClock,
+)
 from .accelerometer import Accelerometer
 from .cpu import CPU
 from .display import Display
@@ -28,8 +36,14 @@ class Machine:
         self.clock = VirtualClock()
         self.scheduler = Scheduler(self.clock)
         self.trace = Trace()
+        # Watchdog/ANR events from the scheduler land in the trace.
+        self.scheduler.trace_hook = self.emit
         self.costs: CostModel = profile.cost_model
         self.random = random.Random(profile.seed)
+        #: Deterministic fault injection: None on the zero-fault fast path
+        #: (every injection point pays exactly one boolean test); install
+        #: a plan with :meth:`install_fault_plan`.
+        self.faults: Optional[FaultPlan] = None
 
         self.cpu = CPU(profile.cpu_cores, profile.cpu_mhz)
         self.gpu = GPU(self, speed_factor=profile.gpu_speed_factor)
@@ -68,6 +82,18 @@ class Machine:
     def shutdown(self) -> None:
         """Kill all simulated threads and release their OS threads."""
         self.scheduler.shutdown()
+
+    # -- fault injection -------------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> FaultPlan:
+        """Attach a seeded :class:`FaultPlan`; injection points consult it
+        from now on.  Pass a fresh plan per run — plans carry rule state."""
+        plan.attach(self)
+        self.faults = plan
+        return plan
+
+    def clear_fault_plan(self) -> None:
+        self.faults = None
 
     # -- tracing ---------------------------------------------------------------
 

@@ -174,6 +174,13 @@ class Dyld:
         """Locate one dylib by path — the non-prelinked slow path."""
         machine = ctx.machine
         machine.charge("dyld_lib_open")
+        if machine.faults is not None:
+            outcome = machine.faults.check("dyld.load", library=install_name)
+            injected = ctx.kernel.apply_fault_errno(ctx.process, outcome)
+            if injected is not None:
+                raise SyscallError(
+                    injected, f"dyld: library not loaded: {install_name}"
+                )
         try:
             node = ctx.kernel.vfs.resolve(install_name)
         except SyscallError:

@@ -333,13 +333,18 @@ class IOSLibc:
         )
         return 0 if code == MACH_MSG_SUCCESS else -1
 
-    def bootstrap_look_up(self, service_name: str) -> int:
-        """Resolve a service name to a send right (blocking RPC)."""
+    def bootstrap_look_up(
+        self, service_name: str, timeout_ns: Optional[float] = None
+    ) -> int:
+        """Resolve a service name to a send right (blocking RPC).
+
+        ``timeout_ns`` bounds the RPC so a dead launchd (or an injected
+        fault) yields MACH_PORT_NULL instead of a hang."""
         bootstrap = self.bootstrap_port()
         if bootstrap == MACH_PORT_NULL:
             return MACH_PORT_NULL
         msg = MachMessage(msg_id=404, body={"op": "lookup", "name": service_name})
-        code, reply = self.mach_msg_rpc(bootstrap, msg)
+        code, reply = self.mach_msg_rpc(bootstrap, msg, timeout_ns)
         if code != MACH_MSG_SUCCESS or reply is None:
             return MACH_PORT_NULL
         # The service right arrives as a body-carried port right.

@@ -10,13 +10,15 @@ notification server.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Set
 
+from ..compat.signals import XNU_SIGCHLD
 from ..xnu.ipc import (
     KERN_SUCCESS,
     MACH_MSG_SUCCESS,
     MACH_MSG_TYPE_MAKE_SEND,
     MACH_PORT_NULL,
+    MACH_RCV_PORT_DIED,
     MachMessage,
 )
 
@@ -27,9 +29,29 @@ CONFIGD_SERVICE = "com.apple.SystemConfiguration.configd"
 NOTIFYD_SERVICE = "com.apple.system.notification_center"
 SYSLOGD_SERVICE = "com.apple.system.logger"
 
+#: launchd keep-alive jobs: service binary -> bootstrap name.
+KEEP_ALIVE_SERVICES = {
+    "/usr/libexec/configd": CONFIGD_SERVICE,
+    "/usr/libexec/notifyd": NOTIFYD_SERVICE,
+    "/usr/libexec/syslogd": SYSLOGD_SERVICE,
+}
+
+#: Supervision policy: exponential backoff starting here, doubling per
+#: restart, until the throttle limit marks the service dead.
+RESTART_BACKOFF_BASE_NS = 10_000_000.0  # 10 ms
+RESTART_THROTTLE_LIMIT = 5
+
 
 def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
-    """PID-1 of the iOS user space: bootstrap server + service spawner."""
+    """PID-1 of the iOS user space: bootstrap server, service spawner,
+    and keep-alive supervisor.
+
+    Supervision: a SIGCHLD handler reaps exited services; keep-alive jobs
+    are respawned by a helper pthread after an exponential backoff
+    (10 ms · 2^(restarts−1)); after :data:`RESTART_THROTTLE_LIMIT`
+    restarts the job is throttled — marked dead, never respawned — and a
+    ``launchd:service_throttled`` trace event records it.
+    """
     libc = ctx.libc
     kr, bootstrap_port = libc.mach_port_allocate()
     if kr != KERN_SUCCESS:
@@ -37,22 +59,92 @@ def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
     libc.host_set_bootstrap_port(bootstrap_port)
     ctx.machine.emit("launchd", "bootstrap_ready")
 
+    supervise = "--no-keepalive" not in argv
+    jobs: Dict[int, str] = {}  # live pid -> service binary
+    restarts: Dict[str, int] = {}
+    throttled: Set[str] = set()
+    registry: Dict[str, int] = {}
+    # Exposed for inspection (tests, ps-style tooling) via lib_state.
+    state = ctx.lib_state("launchd")
+    state["jobs"] = jobs
+    state["restarts"] = restarts
+    state["throttled"] = throttled
+    state["registry"] = registry
+
+    def spawn_service(spawn_ctx: "UserContext", path: str) -> None:
+        pid = spawn_ctx.libc.posix_spawn(path)
+        if isinstance(pid, int) and pid > 0:
+            jobs[pid] = path
+            spawn_ctx.machine.emit(
+                "launchd", "service_start", path=path, pid=pid
+            )
+
+    def respawn_later(path: str, backoff_ns: float) -> None:
+        def respawner(rctx: "UserContext") -> int:
+            rctx.libc.sleep_ns(backoff_ns)
+            if path not in throttled:
+                spawn_service(rctx, path)
+            return 0
+
+        libc.pthread_create(
+            respawner, name=f"respawn:{path.rsplit('/', 1)[-1]}"
+        )
+
+    def sigchld_handler(hctx: "UserContext", signum: int, info: object) -> None:
+        child_pid = getattr(info, "sender_pid", 0)
+        path = jobs.pop(child_pid, None)
+        if path is None:
+            return
+        # The child is guaranteed zombie by SIGCHLD time: reap precisely it.
+        result = hctx.libc.waitpid(child_pid)
+        code = result[1] if isinstance(result, tuple) else -1
+        hctx.machine.emit(
+            "launchd", "service_exit", path=path, pid=child_pid, code=code
+        )
+        # The dead service's port right is useless now: drop it from the
+        # bootstrap namespace so clients see "not registered" (and retry)
+        # instead of a dead name, until the respawn re-registers.
+        registry.pop(KEEP_ALIVE_SERVICES.get(path, ""), None)
+        if not supervise or path not in KEEP_ALIVE_SERVICES:
+            return
+        count = restarts.get(path, 0) + 1
+        restarts[path] = count
+        if count > RESTART_THROTTLE_LIMIT:
+            throttled.add(path)
+            hctx.machine.emit(
+                "launchd", "service_throttled", path=path, restarts=count
+            )
+            return
+        backoff_ns = RESTART_BACKOFF_BASE_NS * (2 ** (count - 1))
+        hctx.machine.emit(
+            "launchd",
+            "service_restart",
+            path=path,
+            restarts=count,
+            backoff_ns=backoff_ns,
+        )
+        respawn_later(path, backoff_ns)
+
+    libc.signal(XNU_SIGCHLD, sigchld_handler)
+
     # Start the standard Mach IPC services (paper §2: "launchd starts
     # Mach IPC services such as configd ... notifyd").
     if "--no-services" not in argv:
-        libc.posix_spawn("/usr/libexec/configd")
-        libc.posix_spawn("/usr/libexec/notifyd")
-        libc.posix_spawn("/usr/libexec/syslogd")
+        for service_path in KEEP_ALIVE_SERVICES:
+            spawn_service(ctx, service_path)
 
-    registry: Dict[str, int] = {}
     while True:
         code, msg = libc.mach_msg_receive(bootstrap_port)
+        if code == MACH_RCV_PORT_DIED:
+            return 0  # our own bootstrap port died: nothing left to serve
         if code != MACH_MSG_SUCCESS or msg is None:
-            return 0
+            continue  # transient failure (injected fault): keep serving
         body = msg.body if isinstance(msg.body, dict) else {}
         op = body.get("op")
         if op == "register" and msg.reply_port_name != MACH_PORT_NULL:
             # The service's port right arrived in the header reply slot.
+            # Re-registration (a respawned service) replaces the old —
+            # possibly dead — right, which is what heals clients.
             registry[body.get("name", "")] = msg.reply_port_name
             ctx.machine.emit("launchd", "register", service=body.get("name"))
         elif op == "lookup" and msg.reply_port_name != MACH_PORT_NULL:
@@ -76,8 +168,10 @@ def configd_main(ctx: "UserContext", argv: List[str]) -> int:
     }
     while True:
         code, msg = libc.mach_msg_receive(port)
-        if code != MACH_MSG_SUCCESS or msg is None:
+        if code == MACH_RCV_PORT_DIED:
             return 0
+        if code != MACH_MSG_SUCCESS or msg is None:
+            continue  # transient (injected) receive failure
         body = msg.body if isinstance(msg.body, dict) else {}
         op = body.get("op")
         if op == "set":
@@ -101,8 +195,10 @@ def notifyd_main(ctx: "UserContext", argv: List[str]) -> int:
     registrations: Dict[str, List[int]] = {}
     while True:
         code, msg = libc.mach_msg_receive(port)
-        if code != MACH_MSG_SUCCESS or msg is None:
+        if code == MACH_RCV_PORT_DIED:
             return 0
+        if code != MACH_MSG_SUCCESS or msg is None:
+            continue  # transient (injected) receive failure
         body = msg.body if isinstance(msg.body, dict) else {}
         op = body.get("op")
         name = body.get("name", "")
@@ -136,8 +232,10 @@ def syslogd_main(ctx: "UserContext", argv: List[str]) -> int:
     lines = 0
     while True:
         code, msg = libc.mach_msg_receive(port)
-        if code != MACH_MSG_SUCCESS or msg is None:
+        if code == MACH_RCV_PORT_DIED:
             return 0
+        if code != MACH_MSG_SUCCESS or msg is None:
+            continue  # transient (injected) receive failure
         body = msg.body if isinstance(msg.body, dict) else {}
         sender = body.get("sender", "?")
         text = body.get("message", "")
@@ -167,6 +265,35 @@ def syslog_send(ctx: "UserContext", message: str) -> int:
 
 
 # -- client helpers (what libnotify / SCDynamicStore wrappers do) ------------------
+
+
+def lookup_service_retry(
+    ctx: "UserContext",
+    service_name: str,
+    attempts: int = 5,
+    backoff_ns: float = 1_000_000.0,
+    timeout_ns: float = 50_000_000.0,
+) -> int:
+    """Bounded-backoff bootstrap lookup.
+
+    A client whose service just crashed sees either MACH_PORT_NULL (not
+    yet re-registered) or a dead name on first use; retrying the lookup
+    with exponential backoff rides out launchd's restart window.  Gives
+    up — returning MACH_PORT_NULL — after ``attempts`` tries, so a
+    throttled-dead service yields a clean failure, not a hang.
+    """
+    libc = ctx.libc
+    delay = backoff_ns
+    for attempt in range(attempts):
+        port = libc.bootstrap_look_up(service_name, timeout_ns=timeout_ns)
+        if port != MACH_PORT_NULL:
+            return port
+        ctx.machine.emit(
+            "bootstrap", "lookup_retry", service=service_name, attempt=attempt + 1
+        )
+        libc.sleep_ns(delay)
+        delay *= 2
+    return MACH_PORT_NULL
 
 
 def configd_get(ctx: "UserContext", key: str) -> object:

@@ -1,0 +1,52 @@
+"""Crash containment records ("tombstones").
+
+When a foreign (or domestic) process dies abnormally — a fatal signal, an
+escaped :class:`SyscallError`, or a Python exception inside a simulated
+syscall handler — the kernel writes a :class:`CrashReport` tombstone
+rather than letting the failure take the machine down.  The report
+captures enough state to debug the simulated crash: pid, process name,
+persona, signal, the faulting syscall (if any) and a formatted traceback
+when a host-level exception was involved.
+
+The list of reports lives on the kernel (``kernel.crash_reports``); one
+``crash`` trace event is emitted per tombstone so tests can assert
+containment without keeping full reports around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CrashReport:
+    """One tombstone."""
+
+    timestamp_ns: float
+    pid: int
+    name: str
+    persona: str
+    signum: int
+    reason: str
+    #: Syscall in flight when the crash happened, if known.
+    syscall: Optional[str] = None
+    #: Host traceback for Python-level oopses (satellite: tracebacks are
+    #: preserved in the trace, never re-raised into the simulation).
+    traceback: Optional[str] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def format(self) -> str:
+        head = (
+            f"*** crash pid={self.pid} name={self.name!r} "
+            f"persona={self.persona} signal={self.signum} "
+            f"reason={self.reason}"
+        )
+        if self.syscall:
+            head += f" syscall={self.syscall}"
+        if self.traceback:
+            head += "\n" + self.traceback.rstrip()
+        return head
+
+    def __repr__(self) -> str:
+        return f"<CrashReport pid={self.pid} sig={self.signum} {self.reason!r}>"

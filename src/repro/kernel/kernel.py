@@ -22,8 +22,11 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..persona import Persona, PersonaRegistry, UnknownPersonaError
 from ..sim import WaitQueue
+from ..sim.faults import KIND_DELAY, KIND_ERRNO, KIND_SIGNAL, FaultOutcome
+from ..sim.trace import CRASH_CATEGORY
+from .crash import CrashReport
 from .devices import DeviceManager, EvdevDriver, FramebufferDriver, NullDriver, ZeroDriver
-from .errno import EINVAL, ENOSYS, SyscallError
+from .errno import EINVAL, EIO, ENOSYS, SyscallError
 from .files import (
     DeviceHandle,
     DirectoryHandle,
@@ -37,6 +40,8 @@ from .signals import (
     SIG_DFL,
     SIG_IGN,
     SIGKILL,
+    SIGSEGV,
+    SIGSYS,
     SigAction,
     SigInfo,
     default_is_fatal,
@@ -70,6 +75,14 @@ class Kernel:
         self.iokit: Optional[object] = None
         #: Installed by repro.compat.signals on Cider/XNU kernels.
         self.signal_translator: Optional[object] = None
+        #: Tombstones written by crash containment (see :mod:`.crash`).
+        self.crash_reports: List[CrashReport] = []
+        #: When True, abnormal process death (escaped SyscallError, Python
+        #: oops, fatal signal, watchdog kill) is *contained*: the process
+        #: is torn down with a tombstone and the rest of the machine keeps
+        #: running.  Default False preserves the historical fail-fast
+        #: behaviour that unit tests rely on (``run_program`` raises).
+        self.contain_crashes = False
         self.booted = False
 
     # -- boot -----------------------------------------------------------------
@@ -92,6 +105,10 @@ class Kernel:
         self.machine.accelerometer.attach_driver(accel_evdev.push_event)
         self.add_device("input/event1", accel_evdev, "input")
 
+        # Watchdog kills land here so the victim's process is tombstoned
+        # and torn down rather than leaking half a process.
+        self.machine.scheduler.on_watchdog_kill = self._watchdog_victim
+
         self.booted = True
         return self
 
@@ -113,7 +130,17 @@ class Kernel:
     # -- the trap path -------------------------------------------------------------
 
     def trap(self, thread: KThread, trapno: int, args: tuple) -> object:
-        """Syscall entry: the hot path every simulated syscall takes."""
+        """Syscall entry: the hot path every simulated syscall takes.
+
+        Hardened: unknown traps surface ENOSYS (via the dispatch table);
+        non-:class:`SyscallError` Python exceptions from a handler are a
+        *kernel oops* — the offending process receives a fatal SIGSYS and
+        the traceback is preserved in the trace — they never escape as raw
+        Python errors.  Control-flow exceptions (thread/process exit,
+        kills) derive from BaseException and pass through untouched, as
+        does :class:`~repro.ducttape.KernelPanic` (a kernel bug is not a
+        process crash).
+        """
         machine = self.machine
         machine.charge("syscall_entry")
         if self.cider_enabled:
@@ -121,15 +148,142 @@ class Kernel:
             machine.charge("cider_persona_check")
         abi = thread.persona.abi
         machine.trace.emit(machine.clock.now_ns, "syscall", abi.name, nr=trapno)
+        if machine.faults is not None:
+            outcome = machine.faults.check(
+                "syscall.enter", nr=trapno, abi=abi.name, pid=thread.process.pid
+            )
+            injected = self.apply_fault_errno(thread.process, outcome)
+            if injected is not None:
+                result = abi.failure(injected)
+                machine.charge("syscall_exit")
+                self.deliver_pending_signals(thread)
+                self._check_dying(thread)
+                return result
         try:
             value = abi.dispatch(self, thread, trapno, args)
             result = abi.success(value)
         except SyscallError as error:
             result = abi.failure(error.errno)
+        except Exception as error:  # noqa: BLE001 -- oops containment
+            result = self._trap_oops(thread, abi, trapno, error)
+        if machine.faults is not None:
+            outcome = machine.faults.check(
+                "syscall.exit", nr=trapno, abi=abi.name, pid=thread.process.pid
+            )
+            injected = self.apply_fault_errno(thread.process, outcome)
+            if injected is not None:
+                result = abi.failure(injected)
         machine.charge("syscall_exit")
         self.deliver_pending_signals(thread)
         self._check_dying(thread)
         return result
+
+    def apply_fault_errno(
+        self, process: Process, outcome: Optional[FaultOutcome]
+    ) -> Optional[int]:
+        """Interpret a :class:`FaultOutcome` at an errno-style injection
+        point.  Returns an errno to surface, or None to continue normally
+        (delays charge virtual time; signals are posted asynchronously;
+        Mach kern codes degrade to EIO outside the Mach layer)."""
+        if outcome is None:
+            return None
+        if outcome.kind == KIND_ERRNO:
+            return int(outcome.value)  # type: ignore[call-overload]
+        if outcome.kind == KIND_DELAY:
+            self.machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+            return None
+        if outcome.kind == KIND_SIGNAL:
+            self.send_signal_to_process(process, int(outcome.value))  # type: ignore[call-overload]
+            return None
+        return EIO
+
+    def _trap_oops(
+        self, thread: KThread, abi: object, trapno: int, error: Exception
+    ) -> object:
+        """A syscall handler raised a non-SyscallError Python exception.
+
+        This is a simulated-kernel bug from the process's point of view:
+        tombstone the process with SIGSYS (traceback preserved), never let
+        the raw exception climb out of the trap.  KernelPanic is exempt —
+        it means the *machine* is toast and must propagate.
+        """
+        from ..ducttape.adapters import KernelPanic
+
+        if isinstance(error, KernelPanic):
+            raise error
+        import traceback as _traceback
+
+        tb = _traceback.format_exc()
+        process = thread.process
+        self.report_crash(
+            process,
+            SIGSYS,
+            f"kernel oops in syscall {trapno}: {type(error).__name__}: {error}",
+            syscall=str(trapno),
+            traceback=tb,
+        )
+        self._fatal_signal(process, SIGSYS)
+        # Only reached when the oops hit a *different* process's syscall
+        # context (never in practice) — surface ENOSYS defensively.
+        return abi.failure(ENOSYS)  # type: ignore[attr-defined]
+
+    # -- crash containment -------------------------------------------------------
+
+    def report_crash(
+        self,
+        process: Process,
+        signum: int,
+        reason: str,
+        syscall: Optional[str] = None,
+        traceback: Optional[str] = None,
+        **detail: object,
+    ) -> CrashReport:
+        """Write a tombstone and emit one ``crash`` trace event."""
+        try:
+            persona = process.main_thread().persona.name
+        except Exception:  # pragma: no cover - threadless corpse
+            persona = "?"
+        report = CrashReport(
+            timestamp_ns=self.machine.now_ns,
+            pid=process.pid,
+            name=process.name,
+            persona=persona,
+            signum=signum,
+            reason=reason,
+            syscall=syscall,
+            traceback=traceback,
+            detail=dict(detail),
+        )
+        self.crash_reports.append(report)
+        self.machine.trace.emit(
+            self.machine.now_ns,
+            CRASH_CATEGORY,
+            "tombstone",
+            pid=process.pid,
+            comm=process.name,
+            signum=signum,
+            reason=reason,
+            **detail,
+        )
+        return report
+
+    def _watchdog_victim(self, sim_thread: object) -> None:
+        """Scheduler watchdog decided to kill ``sim_thread``: tombstone and
+        tear down the owning process (ANR-style)."""
+        kthread = getattr(sim_thread, "kthread", None)
+        if kthread is None:
+            return
+        process = kthread.process
+        if not process.alive:
+            return
+        self.report_crash(
+            process,
+            SIGKILL,
+            "watchdog: thread blocked past ANR budget",
+            blocked_on=repr(getattr(sim_thread, "wait_channel", None)),
+        )
+        process.dying = SIGKILL
+        self.processes.finalize_process(process, 128 + SIGKILL)
 
     def _check_dying(self, thread: KThread) -> None:
         process = thread.process
@@ -245,7 +399,20 @@ class Kernel:
             "signal", "deliver", signum=info.signum, persona=thread.persona.name
         )
         ctx = UserContext(self, thread)
-        action.handler(ctx, signum_user, info)
+        try:
+            action.handler(ctx, signum_user, info)
+        except SyscallError:
+            raise  # handlers may trap; the errno surfaces normally
+        except Exception:  # noqa: BLE001 -- a crash *in* the handler
+            import traceback as _traceback
+
+            self.report_crash(
+                thread.process,
+                SIGSEGV,
+                f"exception in signal handler for signal {info.signum}",
+                traceback=_traceback.format_exc(),
+            )
+            self._fatal_signal(thread.process, SIGSEGV)
 
     # -- file opening ------------------------------------------------------------------
 
@@ -253,6 +420,13 @@ class Kernel:
         """open(2) body shared by every ABI."""
         machine = self.machine
         machine.charge("open_base")
+        if machine.faults is not None:
+            outcome = machine.faults.check(
+                "vfs.open", path=path, pid=process.pid, flags=flags
+            )
+            injected = self.apply_fault_errno(process, outcome)
+            if injected is not None:
+                raise SyscallError(injected, f"fault injected: open {path!r}")
         vfs = self.vfs
         try:
             node = vfs.resolve(path, process.cwd)

@@ -11,7 +11,12 @@ shared submap on XNU and are not copied per-process.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from .errno import ENOMEM, SyscallError
+
+if TYPE_CHECKING:
+    from ..hw.machine import Machine
 
 PAGE_SIZE = 4096
 
@@ -45,10 +50,16 @@ class VMA:
 
 
 class AddressSpace:
-    """The set of VMAs belonging to one process."""
+    """The set of VMAs belonging to one process.
 
-    def __init__(self) -> None:
+    ``machine`` is optional (tests build bare address spaces); when
+    present, :meth:`map` is an ``mm.map`` fault-injection point so seeded
+    plans can simulate transient allocation failure (ENOMEM).
+    """
+
+    def __init__(self, machine: Optional["Machine"] = None) -> None:
         self._vmas: List[VMA] = []
+        self._machine = machine
 
     def map(
         self,
@@ -57,6 +68,23 @@ class AddressSpace:
         writable: bool = False,
         shared_cache: bool = False,
     ) -> VMA:
+        machine = self._machine
+        if machine is not None and machine.faults is not None:
+            outcome = machine.faults.check(
+                "mm.map", region=name, size_bytes=size_bytes
+            )
+            if outcome is not None:
+                if outcome.kind == "delay":
+                    machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+                elif outcome.kind == "errno":
+                    raise SyscallError(
+                        int(outcome.value),  # type: ignore[call-overload]
+                        f"fault injected: map {name!r}",
+                    )
+                else:
+                    raise SyscallError(
+                        ENOMEM, f"fault injected: map {name!r}"
+                    )
         vma = VMA(name, size_bytes, writable, shared_cache)
         self._vmas.append(vma)
         return vma
@@ -89,7 +117,7 @@ class AddressSpace:
 
     def fork_copy(self) -> "AddressSpace":
         """Duplicate the structure (the copy cost is charged by fork)."""
-        child = AddressSpace()
+        child = AddressSpace(self._machine)
         child._vmas = [
             VMA(v.name, v.size_bytes, v.writable, v.shared_cache)
             for v in self._vmas

@@ -26,7 +26,7 @@ from ..persona import Persona, TLSArea
 from .errno import ECHILD, ENOEXEC, ESRCH, SyscallError
 from .files import FDTable
 from .mm import AddressSpace
-from .signals import SigInfo, SignalState, PendingSignals
+from .signals import SIGABRT, SIGSEGV, SigInfo, SignalState, PendingSignals
 
 if TYPE_CHECKING:
     from ..binfmt import BinaryImage
@@ -73,7 +73,7 @@ class Process:
         self.pid = pid
         self.ppid = ppid
         self.name = name
-        self.address_space = AddressSpace()
+        self.address_space = AddressSpace(kernel.machine)
         self.fd_table = FDTable()
         self.cwd: Optional["Directory"] = None
         self.signals = SignalState()
@@ -276,17 +276,44 @@ class ProcessManager:
         process = thread.process
 
         def runner() -> object:
+            kernel = self.kernel
             try:
                 return body()
             except ProcessExited as exited:
                 return exited.code
             except ThreadExited as texit:
                 return texit.value
+            except SyscallError as error:
+                # A simulated errno escaped every userspace handler: the
+                # program aborted.  Tombstone it; with containment on, the
+                # rest of the machine keeps running (the parent still gets
+                # SIGCHLD and a wait status), otherwise fail fast so the
+                # test harness sees the error.
+                kernel.report_crash(
+                    process,
+                    SIGABRT,
+                    f"uncaught syscall error: {error}",
+                )
+                self.finalize_process(process, 128 + SIGABRT)
+                if kernel.contain_crashes:
+                    return 128 + SIGABRT
+                raise
             except Exception:
                 # The simulated program crashed (a bug in user code).
-                # Finalize the process so waiting parents are not stranded,
-                # then surface the failure to whoever joins this thread.
+                # Finalize the process so waiting parents are not stranded;
+                # containment converts the crash into a tombstone + exit
+                # code 139, fail-fast surfaces it to whoever joins.
+                import traceback as _traceback
+
+                kernel.report_crash(
+                    process,
+                    SIGSEGV,
+                    "unhandled exception in simulated user code",
+                    traceback=_traceback.format_exc(),
+                )
                 self.finalize_process(process, 139)
+                if kernel.contain_crashes:
+                    return 139
                 raise
 
         sim = self.kernel.machine.scheduler.spawn(
@@ -485,6 +512,15 @@ class ProcessManager:
         process.exit_code = code
         process.fd_table.close_all()
         process.address_space.unmap_all()
+        # Mach IPC teardown: the task's receive rights die, so peers
+        # blocked on its ports observe dead names instead of hanging.
+        mach = self.kernel.mach_subsystem
+        if mach is not None:
+            terminate = getattr(mach, "task_terminate", None)
+            if terminate is not None and getattr(
+                mach, "space_exists", lambda _t: False
+            )(process):
+                terminate(process)
         # Kill any remaining sibling threads of the process.
         current_sim = None
         scheduler = self.kernel.machine.scheduler

@@ -33,6 +33,7 @@ SIGCHLD = 17
 SIGCONT = 18
 SIGSTOP = 19
 SIGURG = 23
+SIGSYS = 31
 
 NSIG = 32
 
@@ -57,6 +58,7 @@ _FATAL_BY_DEFAULT = frozenset(
         SIGPIPE,
         SIGALRM,
         SIGTERM,
+        SIGSYS,
     }
 )
 

@@ -131,6 +131,20 @@ class VFS:
         """Resolve ``path`` to an inode, charging per component."""
         parts = self.split(path)
         self._charge_lookup(len(parts))
+        if self._machine.faults is not None:
+            outcome = self._machine.faults.check("vfs.lookup", path=path)
+            if outcome is not None:
+                if outcome.kind == "delay":
+                    self._machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+                elif outcome.kind == "errno":
+                    raise SyscallError(
+                        int(outcome.value),  # type: ignore[call-overload]
+                        f"fault injected: lookup {path!r}",
+                    )
+                else:  # kern/signal degrade to transient EIO here
+                    from .errno import EIO
+
+                    raise SyscallError(EIO, f"fault injected: lookup {path!r}")
         node: Inode = self.root if path.startswith("/") or cwd is None else cwd
         for part in parts:
             if not isinstance(node, Directory):

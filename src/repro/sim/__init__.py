@@ -14,10 +14,26 @@ from .errors import (
     SimulationError,
     ThreadKilled,
 )
+from .faults import (
+    FAULT_CATEGORY,
+    INJECTION_POINTS,
+    FaultEvent,
+    FaultOutcome,
+    FaultPlan,
+    FaultRule,
+    chaos_plan,
+)
 from .scheduler import Scheduler, SimThread, ThreadState, WaitQueue
 from .trace import Trace, TraceEvent
 
 __all__ = [
+    "FAULT_CATEGORY",
+    "INJECTION_POINTS",
+    "FaultEvent",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultRule",
+    "chaos_plan",
     "NSEC_PER_MSEC",
     "NSEC_PER_SEC",
     "NSEC_PER_USEC",

@@ -25,7 +25,7 @@ import heapq
 import threading
 from collections import deque
 from enum import Enum
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .clock import VirtualClock
 from .errors import DeadlockError, SchedulerError, ThreadKilled
@@ -104,6 +104,12 @@ class SimThread(_TokenHolder):
         self.result: object = None
         self.failure: Optional[BaseException] = None
         self.wait_channel: Optional["WaitQueue"] = None
+        #: Virtual time this thread last held the token (watchdog fodder).
+        self.last_ran_ns: float = 0.0
+        #: Virtual time it gave the token up (None while running/ready).
+        self.blocked_since_ns: Optional[float] = None
+        #: Set once the watchdog has reported this thread (ANR-style).
+        self.anr_flagged = False
         self._scheduler = scheduler
         self._body = body
         self._joiners = WaitQueue(f"join:{name}")
@@ -118,6 +124,7 @@ class SimThread(_TokenHolder):
         try:
             self._wait_for_token()
             self.state = ThreadState.RUNNING
+            self.last_ran_ns = sched.clock.now_ns
             self.result = self._body()
             self.state = ThreadState.DONE
         except ThreadKilled:
@@ -191,6 +198,19 @@ class Scheduler:
         self._controller = _TokenHolder("controller")
         self._current: _TokenHolder = self._controller
         self._shutdown = False
+        # -- watchdog state (virtual-time ANR detection) -------------------
+        #: Budget in ns a thread may stay blocked before being flagged.
+        self._watchdog_budget_ns: Optional[float] = None
+        #: Deliver a kill to over-budget threads (else: report only).
+        self._watchdog_kill = False
+        #: ANR-style reports produced by the watchdog, in order.
+        self.anr_reports: List[Dict[str, object]] = []
+        #: Optional hook ``fn(category, name, **detail)`` — wired to
+        #: ``Machine.emit`` so watchdog events land in the trace.
+        self.trace_hook: Optional[Callable[..., None]] = None
+        #: Optional hook ``fn(sim_thread)`` invoked before a watchdog
+        #: kill — the kernel uses it to tombstone the owning process.
+        self.on_watchdog_kill: Optional[Callable[["SimThread"], None]] = None
 
     # -- public API --------------------------------------------------------
 
@@ -301,19 +321,25 @@ class Scheduler:
         """Run until every non-daemon thread finishes and daemons quiesce.
 
         Raises :class:`DeadlockError` if non-daemon threads remain but
-        nothing can ever run again.
+        nothing can ever run again — unless a watchdog is armed with
+        ``kill=True``, in which case the longest-blocked thread is killed
+        (after an ANR report) and the run continues.
         """
         if self._current is not self._controller:
             raise SchedulerError("run() called re-entrantly")
         while True:
             self._reap()
+            if self._watchdog_budget_ns is not None:
+                self._watchdog_scan()
             if not self._ready and not self._fire_due_timers():
                 pending = [t for t in self._threads if t.alive and not t.daemon]
                 if not pending:
                     return
+                if self._watchdog_expire(pending):
+                    continue
                 raise DeadlockError(
-                    "all threads blocked: "
-                    + ", ".join(f"{t.name} on {t.wait_channel}" for t in pending)
+                    "all threads blocked; thread dump:\n"
+                    + self.thread_dump()
                 )
             self._handoff_from_controller()
 
@@ -321,12 +347,131 @@ class Scheduler:
         """Run the simulation until ``thread`` completes; return its result."""
         while thread.alive:
             self._reap()
+            if self._watchdog_budget_ns is not None:
+                self._watchdog_scan()
             if not self._ready and not self._fire_due_timers():
-                raise DeadlockError(f"waiting on {thread!r} but nothing can run")
+                if self._watchdog_expire([thread] if thread.alive else []):
+                    continue
+                raise DeadlockError(
+                    f"waiting on {thread!r} but nothing can run; "
+                    "thread dump:\n" + self.thread_dump()
+                )
             self._handoff_from_controller()
         if thread.failure is not None:
             raise thread.failure
         return thread.result
+
+    # -- watchdog ----------------------------------------------------------
+
+    def set_watchdog(self, budget_ns: float, kill: bool = False) -> None:
+        """Arm the virtual-time watchdog: any thread blocked longer than
+        ``budget_ns`` is flagged with an ANR-style report; with ``kill``
+        it is also killed, turning would-be deadlocks into diagnosable
+        failures of a single thread."""
+        if budget_ns <= 0:
+            raise SchedulerError("watchdog budget must be positive")
+        self._watchdog_budget_ns = budget_ns
+        self._watchdog_kill = kill
+
+    def clear_watchdog(self) -> None:
+        self._watchdog_budget_ns = None
+        self._watchdog_kill = False
+
+    def _over_budget(self, now: float) -> List[SimThread]:
+        budget = self._watchdog_budget_ns
+        victims = []
+        for t in self._threads:
+            if t.daemon:
+                # System services legitimately block forever waiting for
+                # requests; the watchdog polices app threads only.
+                continue
+            if not t.alive or t.state is not ThreadState.BLOCKED:
+                continue
+            if t.blocked_since_ns is None or t.anr_flagged:
+                continue
+            if now - t.blocked_since_ns >= budget:  # type: ignore[operator]
+                victims.append(t)
+        return victims
+
+    def _report_anr(self, victim: SimThread, killed: bool) -> None:
+        victim.anr_flagged = True
+        report = {
+            "thread": victim.name,
+            "sid": victim.sid,
+            "blocked_on": repr(victim.wait_channel),
+            "blocked_since_ns": victim.blocked_since_ns,
+            "blocked_for_ns": self.clock.now_ns - (victim.blocked_since_ns or 0.0),
+            "killed": killed,
+            "dump": self.thread_dump(),
+        }
+        self.anr_reports.append(report)
+        if self.trace_hook is not None:
+            self.trace_hook(
+                "watchdog",
+                "anr",
+                thread=victim.name,
+                blocked_on=repr(victim.wait_channel),
+                blocked_for_ns=report["blocked_for_ns"],
+                killed=killed,
+            )
+
+    def _watchdog_scan(self) -> None:
+        """Report (and optionally kill) threads already past their budget
+        at the current virtual time.  Runs only while a watchdog is armed."""
+        for victim in self._over_budget(self.clock.now_ns):
+            self._report_anr(victim, killed=self._watchdog_kill)
+            if self._watchdog_kill:
+                if self.on_watchdog_kill is not None:
+                    self.on_watchdog_kill(victim)
+                self.kill_thread(victim)
+
+    def _watchdog_expire(self, pending: List[SimThread]) -> bool:
+        """Nothing can run and no timer is pending: if a kill-mode
+        watchdog is armed, fast-forward virtual time to the earliest
+        budget expiry, kill that thread, and report progress."""
+        if self._watchdog_budget_ns is None or not self._watchdog_kill:
+            return False
+        blocked = [
+            t
+            for t in pending
+            if t.alive
+            and t.state is ThreadState.BLOCKED
+            and t.blocked_since_ns is not None
+        ]
+        if not blocked:
+            return False
+        victim = min(blocked, key=lambda t: (t.blocked_since_ns, t.sid))
+        deadline = victim.blocked_since_ns + self._watchdog_budget_ns  # type: ignore[operator]
+        self.clock.jump_to(max(deadline, self.clock.now_ns))
+        self._report_anr(victim, killed=True)
+        if self.on_watchdog_kill is not None:
+            self.on_watchdog_kill(victim)
+        self.kill_thread(victim)
+        return True
+
+    # -- diagnostics -------------------------------------------------------
+
+    def thread_dump(self) -> str:
+        """A per-thread diagnostic dump (name, state, wait channel,
+        virtual times) — attached to DeadlockError and ANR reports so a
+        fault-run failure is debuggable from the message alone."""
+        now = self.clock.now_ns
+        lines = []
+        for t in self._threads:
+            if not t.alive:
+                continue
+            blocked_for = (
+                f" blocked_for={now - t.blocked_since_ns:.0f}ns"
+                if t.blocked_since_ns is not None
+                else ""
+            )
+            lines.append(
+                f"  sid={t.sid} {t.name!r} state={t.state.value}"
+                f"{' daemon' if t.daemon else ''}"
+                f" on={t.wait_channel!r}"
+                f" last_ran={t.last_ran_ns:.0f}ns{blocked_for}"
+            )
+        return "\n".join(lines) if lines else "  (no live threads)"
 
     def kill_thread(self, victim: SimThread) -> None:
         """Force ``victim`` to unwind with ThreadKilled the next time it
@@ -409,14 +554,19 @@ class Scheduler:
 
     def _dispatch(self, from_thread: SimThread) -> None:
         """Give up the token; regain it when rescheduled."""
+        from_thread.blocked_since_ns = self.clock.now_ns
         target = self._pick_next()
         if target is None and self._fire_due_timers():
             target = self._pick_next()
         if target is from_thread:
+            from_thread.blocked_since_ns = None
+            from_thread.last_ran_ns = self.clock.now_ns
             return  # sole runnable thread: keep running
         self._current = target if target is not None else self._controller
         self._current._wake()
         from_thread._wait_for_token()
+        from_thread.blocked_since_ns = None
+        from_thread.last_ran_ns = self.clock.now_ns
 
     def _handoff_from_controller(self) -> None:
         target = self._pick_next()

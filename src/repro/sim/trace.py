@@ -14,6 +14,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
+#: Category for injected faults (see :mod:`repro.sim.faults`): one event
+#: is emitted per injected fault — (point, rule id, chosen outcome) — so
+#: tests can assert "same seed ⇒ identical fault sequence".
+FAULT_CATEGORY = "fault"
+#: Category for crash containment tombstones (see repro.kernel.crash).
+CRASH_CATEGORY = "crash"
+#: Category for scheduler-watchdog ANR reports.
+WATCHDOG_CATEGORY = "watchdog"
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -77,6 +86,14 @@ class Trace:
                 continue
             result.append(event)
         return result
+
+    def fault_events(self) -> List[TraceEvent]:
+        """Every injected-fault event (requires tracing enabled)."""
+        return self.events(FAULT_CATEGORY)
+
+    def fault_count(self) -> int:
+        """Injected faults counted so far (works with tracing disabled)."""
+        return self.count(FAULT_CATEGORY)
 
     def clear(self) -> None:
         self._events.clear()

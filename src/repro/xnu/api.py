@@ -125,6 +125,22 @@ class XNUKernelAPI:
         instructions the foreign code would execute)."""
         raise NotImplementedError
 
+    # -- fault injection hook -----------------------------------------------------------
+
+    #: True while the host machine has a fault plan installed.  Foreign
+    #: code pays exactly one attribute test on the zero-fault fast path
+    #: (the analogue of XNU's failure-injection kernel config).
+    fault_active: bool = False
+
+    def fault(self, point: str, **detail: object) -> Optional[object]:
+        """Consult the host fault plan at injection point ``point``.
+
+        Returns a :class:`repro.sim.faults.FaultOutcome` (only ``errno`` /
+        ``kern`` kinds — the environment applies delays and signals itself)
+        or None.  The default environment injects nothing.
+        """
+        return None
+
 
 #: Symbols the foreign zone exports / requires, used by the duct-tape
 #: linker for conflict detection (paper §4.2 step 2).

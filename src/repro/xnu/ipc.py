@@ -204,6 +204,52 @@ class MachIPC:
     def space_exists(self, task: object) -> bool:
         return task in self._spaces
 
+    def _fault_code(self, point: str, default: int, **detail: object) -> Optional[int]:
+        """Fault-injection helper: returns a mach_msg_return code to
+        surface, or None.  kern outcomes carry their own code; other kinds
+        degrade to ``default``."""
+        outcome = self.xnu.fault(point, **detail)
+        if outcome is None:
+            return None
+        if getattr(outcome, "kind", None) == "kern":
+            return int(outcome.value)  # type: ignore[call-overload]
+        return default
+
+    # -- task teardown ----------------------------------------------------------
+
+    def task_terminate(self, task: object) -> int:
+        """Tear down a dead task's IPC state (crash containment).
+
+        Every port the task held the receive right for dies: its name
+        space is dropped, blocked receivers observe MACH_RCV_PORT_DIED,
+        blocked senders observe MACH_SEND_INVALID_DEST, and send rights
+        held by *other* tasks flip to dead names lazily on next use.
+        """
+        space = self._spaces.pop(task, None)
+        if space is None:
+            return KERN_SUCCESS
+        for entry in list(space.names.values()):
+            target = entry.target
+            if entry.right != RIGHT_RECEIVE or not isinstance(target, IPCPort):
+                continue
+            target.dead = True
+            target.receiver_space = None
+            if target.member_of is not None:
+                pset = target.member_of
+                if target in pset.members:
+                    pset.members.remove(target)
+                target.member_of = None
+                self.xnu.thread_wakeup(pset.recv_event)
+            self.xnu.thread_wakeup(target.recv_event)
+            self.xnu.thread_wakeup(target.send_event)
+        task_port = getattr(space, "task_port", None)
+        if task_port is not None:
+            task_port.dead = True
+            self.xnu.thread_wakeup(task_port.recv_event)
+            self.xnu.thread_wakeup(task_port.send_event)
+        space.names.clear()
+        return KERN_SUCCESS
+
     # -- port allocation ------------------------------------------------------------
 
     def mach_port_allocate(self, task: object) -> Tuple[int, int]:
@@ -321,6 +367,13 @@ class MachIPC:
         reply_name: int = MACH_PORT_NULL,
         timeout_ns: Optional[float] = None,
     ) -> int:
+        if self.xnu.fault_active:
+            code = self._fault_code(
+                "mach.send", MACH_SEND_TIMED_OUT,
+                dest=dest_name, msg_id=msg.msg_id,
+            )
+            if code is not None:
+                return code
         space = self.space_for_task(task)
         entry = space.lookup(dest_name)
         if entry is None or entry.right == RIGHT_DEAD_NAME:
@@ -381,6 +434,10 @@ class MachIPC:
         name: int,
         timeout_ns: Optional[float] = None,
     ) -> Tuple[int, Optional[MachMessage]]:
+        if self.xnu.fault_active:
+            code = self._fault_code("mach.recv", MACH_RCV_TIMED_OUT, port=name)
+            if code is not None:
+                return code, None
         space = self.space_for_task(task)
         entry = space.lookup(name)
         if entry is None:

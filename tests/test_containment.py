@@ -1,0 +1,249 @@
+"""Crash containment: a misbehaving process — or a buggy driver under it —
+must die alone, leaving the rest of the simulated machine serviceable."""
+
+import pytest
+
+from repro.binfmt import elf_executable, macho_executable
+from repro.cider.system import build_cider
+from repro.ios.services import CONFIGD_SERVICE, configd_get
+from repro.kernel.errno import EIO, ENOSYS, SyscallError
+from repro.kernel.signals import SIGABRT, SIGKILL, SIGSEGV, SIGSYS
+from repro.sim import NSEC_PER_SEC, DeadlockError
+from repro.sim.faults import FaultOutcome, FaultPlan
+from repro.xnu.ipc import MACH_SEND_INVALID_DEST, MachMessage
+
+from .helpers import run_elf, run_macho
+
+
+def _install_and_start(system, image_builder, name, body):
+    """Install ``body`` as a program and start (but don't await) it."""
+    image = image_builder(name, lambda ctx, argv: body(ctx))
+    prefix = "/bin" if image_builder is macho_executable else "/system/bin"
+    path = f"{prefix}/{name}"
+    system.kernel.vfs.install_binary(path, image)
+    return system.kernel.start_process(path, [path])
+
+
+# -- trap hardening ---------------------------------------------------------------
+
+
+def test_unknown_trap_returns_enosys():
+    system = build_cider()
+    try:
+        result = run_elf(system, lambda ctx: ctx.thread.trap(99999))
+        assert result == -ENOSYS  # Linux convention: -errno, not a crash
+    finally:
+        system.shutdown()
+
+
+class _BrokenDriver:
+    """A device driver with a bug: read() raises a raw Python exception."""
+
+    def read(self, handle, nbytes):
+        raise RuntimeError("driver bug: null dereference")
+
+    def write(self, handle, data):
+        return len(data)
+
+
+def test_kernel_oops_is_contained_as_sigsys():
+    """A non-SyscallError escaping a syscall handler is a simulated kernel
+    oops: the calling process dies 128+SIGSYS with the traceback preserved
+    in its tombstone — the Python exception never reaches the harness."""
+    system = build_cider()
+    try:
+        system.kernel.add_device("broken0", _BrokenDriver(), "misc")
+
+        def body(ctx):
+            fd = ctx.libc.open("/dev/broken0")
+            ctx.libc.read(fd, 16)  # never returns: oops -> SIGSYS
+            return 0
+
+        process = _install_and_start(system, elf_executable, "oopser", body)
+        code = system.wait_for(process)
+        assert code == 128 + SIGSYS
+
+        report = system.kernel.crash_reports[-1]
+        assert report.signum == SIGSYS
+        assert "kernel oops" in report.reason
+        assert "RuntimeError" in (report.traceback or "")
+        assert system.machine.trace.count("crash", "tombstone") >= 1
+
+        # The machine is still serviceable afterwards.
+        assert run_elf(system, lambda ctx: ctx.libc.getpid()) > 0
+    finally:
+        system.shutdown()
+
+
+# -- injected fatal signals -------------------------------------------------------
+
+
+def test_injected_sigkill_is_contained():
+    """A targeted SIGKILL fault kills the victim app (exit 137) while
+    launchd, configd and Android processes keep running."""
+    system = build_cider()
+    try:
+        system.kernel.contain_crashes = True
+        plan = system.machine.install_fault_plan(FaultPlan(seed=0))
+        plan.rule(
+            "syscall.enter",
+            FaultOutcome.signal(SIGKILL),
+            rule_id="kill-ios-app",
+            predicate=lambda d: d.get("abi") == "xnu",
+            nth=40,  # deep inside the app, well past exec
+        )
+
+        def victim_body(ctx):
+            libc = ctx.libc
+            for _ in range(100):
+                libc.getpid()
+            return 0
+
+        process = _install_and_start(
+            system, macho_executable, "victim", victim_body
+        )
+        code = system.wait_for(process)
+        assert code == 128 + SIGKILL
+
+        system.machine.clear_fault_plan()
+        # Other personas and the service fleet survived the kill.
+        assert run_macho(system, lambda c: configd_get(c, "Model")) == "Cider"
+        assert run_elf(system, lambda ctx: ctx.libc.getpid()) > 0
+    finally:
+        system.shutdown()
+
+
+# -- escaped errnos ---------------------------------------------------------------
+
+
+def test_escaped_syscall_error_contained_as_abort():
+    system = build_cider()
+    try:
+        system.kernel.contain_crashes = True
+
+        def body(ctx):
+            raise SyscallError(EIO, "nobody caught me")
+
+        process = _install_and_start(system, elf_executable, "aborter", body)
+        code = system.wait_for(process)
+        assert code == 128 + SIGABRT
+        report = system.kernel.crash_reports[-1]
+        assert report.signum == SIGABRT
+        assert report.reason.startswith("uncaught syscall error")
+    finally:
+        system.shutdown()
+
+
+def test_escaped_syscall_error_fails_fast_without_containment():
+    system = build_cider()
+    try:
+        assert system.kernel.contain_crashes is False  # the default
+
+        def body(ctx):
+            raise SyscallError(EIO, "nobody caught me")
+
+        process = _install_and_start(system, elf_executable, "aborter2", body)
+        with pytest.raises(SyscallError):
+            system.wait_for(process)
+        # Fail-fast still tombstones and finalizes before re-raising.
+        assert system.kernel.crash_reports[-1].signum == SIGABRT
+        assert not process.alive
+    finally:
+        system.shutdown()
+
+
+def test_unhandled_python_exception_contained_as_segv():
+    system = build_cider()
+    try:
+        system.kernel.contain_crashes = True
+
+        def body(ctx):
+            raise ValueError("user-code bug")
+
+        process = _install_and_start(system, elf_executable, "segfaulter", body)
+        code = system.wait_for(process)
+        assert code == 139
+        report = system.kernel.crash_reports[-1]
+        assert report.signum == SIGSEGV
+        assert "ValueError" in (report.traceback or "")
+    finally:
+        system.shutdown()
+
+
+# -- port death -------------------------------------------------------------------
+
+
+def test_dead_service_port_yields_invalid_dest():
+    """When a service process dies, its registered receive right dies with
+    it: a client holding the stale send right observes
+    MACH_SEND_INVALID_DEST instead of hanging."""
+    system = build_cider()
+    try:
+        def register_and_exit(ctx):
+            libc = ctx.libc
+            kr, port = libc.mach_port_allocate()
+            assert kr == 0
+            assert libc.bootstrap_register("test.doomed", port) == 0
+            return 0  # exits without ever serving
+
+        run_macho(system, register_and_exit, name="doomed")
+
+        def client(ctx):
+            libc = ctx.libc
+            port = libc.bootstrap_look_up("test.doomed")
+            assert port != 0, "stale registration should still resolve"
+            return libc.mach_msg_send(port, MachMessage(0x1, body={}))
+
+        assert run_macho(system, client) == MACH_SEND_INVALID_DEST
+    finally:
+        system.shutdown()
+
+
+# -- watchdog / ANR ---------------------------------------------------------------
+
+
+def _blocked_forever(ctx):
+    libc = ctx.libc
+    fds = libc.pipe()
+    rfd = fds[0] if isinstance(fds, (tuple, list)) else fds
+    libc.read(rfd, 1)  # no writer: blocks forever
+    return 0
+
+
+def test_watchdog_turns_deadlock_into_anr_kill():
+    system = build_cider()
+    try:
+        system.machine.scheduler.set_watchdog(1 * NSEC_PER_SEC, kill=True)
+        process = _install_and_start(
+            system, elf_executable, "hangman", _blocked_forever
+        )
+        system.wait_for(process)  # no DeadlockError: the watchdog fires
+
+        reports = system.machine.scheduler.anr_reports
+        assert reports, "the watchdog must file an ANR report"
+        assert reports[-1]["killed"] is True
+        assert reports[-1]["blocked_for_ns"] >= 1 * NSEC_PER_SEC
+        assert not process.alive
+        tombstone = system.kernel.crash_reports[-1]
+        assert tombstone.signum == SIGKILL
+        assert "watchdog" in tombstone.reason
+
+        # The rest of the machine survived the ANR kill.
+        assert run_elf(system, lambda ctx: ctx.libc.getpid()) > 0
+    finally:
+        system.shutdown()
+
+
+def test_without_watchdog_deadlock_error_carries_thread_dump():
+    system = build_cider()
+    try:
+        process = _install_and_start(
+            system, elf_executable, "hangman2", _blocked_forever
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            system.wait_for(process)
+        message = str(excinfo.value)
+        assert "thread dump" in message
+        assert "hangman2" in message
+    finally:
+        system.shutdown()

@@ -1,0 +1,158 @@
+"""launchd keep-alive supervision: crashed services are reaped via SIGCHLD,
+respawned with exponential backoff, and throttled after repeated failures;
+clients ride out the restart window with bounded-backoff lookups."""
+
+import pytest
+
+from repro.cider.system import build_cider
+from repro.ios.services import (
+    CONFIGD_SERVICE,
+    KEEP_ALIVE_SERVICES,
+    RESTART_BACKOFF_BASE_NS,
+    RESTART_THROTTLE_LIMIT,
+    configd_get,
+    lookup_service_retry,
+)
+from repro.kernel.signals import SIGKILL
+from repro.xnu.ipc import MACH_PORT_NULL
+
+from .helpers import run_macho
+
+CONFIGD_PATH = "/usr/libexec/configd"
+
+
+@pytest.fixture()
+def system():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+def _find_service(system, name):
+    """The live process backing a service, or None."""
+    for process in system.kernel.processes.table.values():
+        if process.name == name and process.alive:
+            return process
+    return None
+
+
+def _kill_service(system, process):
+    system.kernel.send_signal_to_process(process, SIGKILL)
+    system.run_until_idle()  # reap + (maybe) backoff-respawn
+
+
+def _launchd_state(system):
+    return system.ios.launchd.lib_state_for("launchd")
+
+
+def test_all_keepalive_services_running(system):
+    trace = system.machine.trace
+    assert trace.count("launchd", "service_start") == len(KEEP_ALIVE_SERVICES)
+    for path in KEEP_ALIVE_SERVICES:
+        name = path.rsplit("/", 1)[-1]
+        assert _find_service(system, name) is not None, name
+    jobs = _launchd_state(system)["jobs"]
+    assert sorted(jobs.values()) == sorted(KEEP_ALIVE_SERVICES)
+
+
+def test_killed_service_is_reaped_and_restarted(system):
+    victim = _find_service(system, "configd")
+    old_pid = victim.pid
+
+    _kill_service(system, victim)
+
+    trace = system.machine.trace
+    assert trace.count("launchd", "service_exit") == 1
+    assert trace.count("launchd", "service_restart") == 1
+    fresh = _find_service(system, "configd")
+    assert fresh is not None and fresh.pid != old_pid
+    # No zombie left behind: the SIGCHLD handler reaped the old pid.
+    assert old_pid not in system.kernel.processes.table
+    # And the respawned instance re-registered: clients work again.
+    assert run_macho(system, lambda c: configd_get(c, "Model")) == "Cider"
+
+
+def test_restart_backoff_doubles(system):
+    system.machine.trace.enabled = True
+    for _ in range(3):
+        _kill_service(system, _find_service(system, "configd"))
+
+    events = system.machine.trace.events("launchd", "service_restart")
+    backoffs = [e.detail["backoff_ns"] for e in events]
+    assert backoffs == [
+        RESTART_BACKOFF_BASE_NS,
+        RESTART_BACKOFF_BASE_NS * 2,
+        RESTART_BACKOFF_BASE_NS * 4,
+    ]
+
+
+def test_throttle_after_repeated_crashes(system):
+    for _ in range(RESTART_THROTTLE_LIMIT + 1):
+        victim = _find_service(system, "configd")
+        assert victim is not None, "service must be back before each kill"
+        _kill_service(system, victim)
+
+    trace = system.machine.trace
+    assert trace.count("launchd", "service_throttled") == 1
+    assert trace.count("launchd", "service_restart") == RESTART_THROTTLE_LIMIT
+    assert _find_service(system, "configd") is None
+    state = _launchd_state(system)
+    assert CONFIGD_PATH in state["throttled"]
+    assert state["restarts"][CONFIGD_PATH] == RESTART_THROTTLE_LIMIT + 1
+
+    # A client sees a clean, bounded failure — not a hang.
+    port = run_macho(
+        system,
+        lambda c: lookup_service_retry(
+            c, CONFIGD_SERVICE, attempts=2, backoff_ns=1_000_000.0
+        ),
+    )
+    assert port == MACH_PORT_NULL
+
+    # The other keep-alive services are untouched.
+    assert _find_service(system, "notifyd") is not None
+    assert _find_service(system, "syslogd") is not None
+
+
+def test_lookup_retry_rides_out_restart_window(system):
+    victim = _find_service(system, "configd")
+    system.kernel.send_signal_to_process(victim, SIGKILL)
+    # Do NOT run_until_idle: launch the client into the restart window.
+
+    def client(ctx):
+        port = lookup_service_retry(
+            ctx,
+            CONFIGD_SERVICE,
+            attempts=8,
+            backoff_ns=2_000_000.0,
+            timeout_ns=50_000_000.0,
+        )
+        assert port != MACH_PORT_NULL, "retry must outlast the backoff"
+        return configd_get(ctx, "Model")
+
+    assert run_macho(system, client) == "Cider"
+    assert system.machine.trace.count("bootstrap", "lookup_retry") >= 1
+
+
+def test_registry_entry_dropped_during_restart_window(system):
+    """Between service death and respawn the bootstrap name must resolve
+    to MACH_PORT_NULL (not a dead right), so clients retry cleanly."""
+    victim = _find_service(system, "configd")
+    pid = victim.pid
+    old_port = _launchd_state(system)["registry"][CONFIGD_SERVICE]
+    system.kernel.send_signal_to_process(victim, SIGKILL)
+
+    def probe(ctx):
+        # First receivable turn after the kill: launchd has reaped the
+        # child and dropped the registry entry; the respawn is still
+        # sleeping out its backoff.
+        return ctx.libc.bootstrap_look_up(
+            CONFIGD_SERVICE, timeout_ns=1_000_000.0
+        )
+
+    assert run_macho(system, probe) == MACH_PORT_NULL
+    # Let the respawn land; the service comes back under a fresh right.
+    system.run_until_idle()
+    fresh = _find_service(system, "configd")
+    assert fresh is not None and fresh.pid != pid
+    assert _launchd_state(system)["registry"][CONFIGD_SERVICE] != old_port
