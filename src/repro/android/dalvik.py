@@ -304,6 +304,20 @@ class DalvikVM:
         return self._invoke(self.dex.method(method_name), list(args), depth=0)
 
     def _invoke(self, method: Method, args: List[object], depth: int) -> object:
+        """One interpreted method activation.  With observability on,
+        each activation is an ``android.dalvik.invoke`` span (nested per
+        call depth), so interpreter time separates cleanly from the
+        native/JNI work it dispatches into."""
+        obs = self.ctx.machine.obs
+        if obs is None:
+            return self._invoke_body(method, args, depth)
+        span = obs.enter_span("android.dalvik.invoke", method.name, None)
+        try:
+            return self._invoke_body(method, args, depth)
+        finally:
+            obs.exit_span(span)
+
+    def _invoke_body(self, method: Method, args: List[object], depth: int) -> object:
         if depth > self.max_call_depth:
             raise DalvikError("stack overflow")
         machine = self.ctx.machine

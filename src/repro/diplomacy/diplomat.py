@@ -110,6 +110,21 @@ class Diplomat:
         return fn
 
     def __call__(self, ctx: "UserContext", *args: object) -> object:
+        """Run the nine-step arbitration.  With observability enabled the
+        whole call is one ``diplomacy.call`` span whose children are the
+        two ``set_persona`` traps (steps 3/7) and whatever the domestic
+        function does — the profiler's reproduction of the paper's
+        per-call diplomat overhead breakdown."""
+        obs = ctx.machine.obs
+        if obs is None:
+            return self._call_body(ctx, args)
+        span = obs.enter_span("diplomacy.call", self.foreign_symbol, None)
+        try:
+            return self._call_body(ctx, args)
+        finally:
+            obs.exit_span(span)
+
+    def _call_body(self, ctx: "UserContext", args: tuple) -> object:
         machine = ctx.machine
         thread = ctx.thread
         self.calls += 1

@@ -187,6 +187,12 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
     def charge(self, cost_name: str, times: float = 1) -> None:
         self._machine.charge(cost_name, times)
 
+    # -- observability -----------------------------------------------------------------------
+
+    def span(self, subsystem: str, name: str = "", **attrs: object):
+        """Bind foreign tracepoints to the host machine's observatory."""
+        return self._machine.span(subsystem, name, **attrs)
+
     # -- fault injection ---------------------------------------------------------------------
 
     @property

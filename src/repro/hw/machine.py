@@ -9,8 +9,10 @@ simulated user space do charges time through the machine.
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
+from ..obs.observatory import Observatory, _SpanContext
+from ..obs.spans import NULL_SPAN, NullSpan
 from ..sim import (
     CostModel,
     FaultPlan,
@@ -44,6 +46,10 @@ class Machine:
         #: (every injection point pays exactly one boolean test); install
         #: a plan with :meth:`install_fault_plan`.
         self.faults: Optional[FaultPlan] = None
+        #: Observability: None on the fast path (every instrumentation
+        #: site pays exactly one boolean test, mirroring ``faults``);
+        #: install with :meth:`install_observatory`.
+        self.obs: Optional[Observatory] = None
 
         self.cpu = CPU(profile.cpu_cores, profile.cpu_mhz)
         self.gpu = GPU(self, speed_factor=profile.gpu_speed_factor)
@@ -94,6 +100,38 @@ class Machine:
 
     def clear_fault_plan(self) -> None:
         self.faults = None
+
+    # -- observability -----------------------------------------------------------
+
+    def install_observatory(
+        self, obs: Optional[Observatory] = None
+    ) -> Observatory:
+        """Attach an :class:`~repro.obs.Observatory`: spans, metrics and
+        the virtual-time profiler activate from this point on.  Charges
+        made before installation stay unprofiled (the observatory records
+        the attach baseline)."""
+        obs = obs if obs is not None else Observatory()
+        obs.attach(self)
+        self.obs = obs
+        self.clock.profiler = obs.profiler
+        self.scheduler.obs = obs
+        return obs
+
+    def clear_observatory(self) -> None:
+        """Detach telemetry: the fast path is restored exactly."""
+        self.obs = None
+        self.clock.profiler = None
+        self.scheduler.obs = None
+
+    def span(
+        self, subsystem: str, name: str = "", **attrs: object
+    ) -> Union[_SpanContext, NullSpan]:
+        """``with machine.span("ios.dyld", lib): ...`` — a hierarchical
+        profiling span, or the shared no-op when observability is off."""
+        obs = self.obs
+        if obs is None:
+            return NULL_SPAN
+        return obs.span(subsystem, name, **attrs)
 
     # -- tracing ---------------------------------------------------------------
 

@@ -111,6 +111,26 @@ class Dyld:
         return cache if isinstance(cache, SharedCache) else None
 
     def _load_libraries(self, ctx: "UserContext", image: BinaryImage) -> DyldStats:
+        """Resolve the dependency closure — a ``ios.dyld.load`` span, so
+        the profiler shows exactly how much of every Mach-O exec is dyld
+        walking the filesystem (the paper's §6.2 fork/exec story)."""
+        obs = ctx.machine.obs
+        if obs is None:
+            return self._load_libraries_body(ctx, image)
+        span = obs.enter_span("ios.dyld.load", image.name, None)
+        try:
+            stats = self._load_libraries_body(ctx, image)
+        finally:
+            obs.exit_span(span)
+        obs.metrics.counter("ios.dyld.libs.loaded").inc(stats.libraries_loaded)
+        obs.metrics.counter("ios.dyld.libs.walked").inc(stats.walked_filesystem)
+        obs.metrics.counter("ios.dyld.libs.cached").inc(stats.from_cache)
+        obs.metrics.gauge("ios.dyld.mapped.bytes").set(stats.mapped_bytes)
+        return stats
+
+    def _load_libraries_body(
+        self, ctx: "UserContext", image: BinaryImage
+    ) -> DyldStats:
         machine = ctx.machine
         process = ctx.process
         stats = DyldStats()
@@ -172,6 +192,19 @@ class Dyld:
 
     def _walk_filesystem(self, ctx: "UserContext", install_name: str) -> BinaryImage:
         """Locate one dylib by path — the non-prelinked slow path."""
+        machine = ctx.machine
+        obs = machine.obs
+        if obs is None:
+            return self._walk_filesystem_body(ctx, install_name)
+        span = obs.enter_span("ios.dyld.walk", install_name, None)
+        try:
+            return self._walk_filesystem_body(ctx, install_name)
+        finally:
+            obs.exit_span(span)
+
+    def _walk_filesystem_body(
+        self, ctx: "UserContext", install_name: str
+    ) -> BinaryImage:
         machine = ctx.machine
         machine.charge("dyld_lib_open")
         if machine.faults is not None:

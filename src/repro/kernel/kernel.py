@@ -140,7 +140,25 @@ class Kernel:
         kills) derive from BaseException and pass through untouched, as
         does :class:`~repro.ducttape.KernelPanic` (a kernel bug is not a
         process crash).
+
+        Observability: with an observatory installed the whole trap is a
+        ``kernel.trap`` span under which persona switches, diplomats,
+        VFS lookups, Mach IPC and dyld open child spans; the span is
+        closed in a ``finally`` so aborted syscalls (injected faults,
+        process death, kernel oopses) can never leak it open.
         """
+        obs = self.machine.obs
+        if obs is None:
+            return self._trap_body(thread, trapno, args)
+        span = obs.enter_span(
+            "kernel.trap", thread.persona.abi.name, {"nr": trapno}
+        )
+        try:
+            return self._trap_body(thread, trapno, args)
+        finally:
+            obs.exit_span(span)
+
+    def _trap_body(self, thread: KThread, trapno: int, args: tuple) -> object:
         machine = self.machine
         machine.charge("syscall_entry")
         if self.cider_enabled:
@@ -321,10 +339,13 @@ class Kernel:
             persona = self.personas.get(persona_name)
         except UnknownPersonaError:
             raise SyscallError(EINVAL, persona_name) from None
-        self.machine.charge("set_persona")
         previous = thread.persona
-        thread.persona = persona
-        thread.tls(persona)  # materialise the TLS area pointer swap
+        with self.machine.span(
+            "persona.switch", f"{previous.name}->{persona.name}"
+        ):
+            self.machine.charge("set_persona")
+            thread.persona = persona
+            thread.tls(persona)  # materialise the TLS area pointer swap
         self.machine.emit(
             "persona", "switch", frm=previous.name, to=persona.name
         )
@@ -388,6 +409,22 @@ class Kernel:
         self, thread: KThread, info: SigInfo, action: SigAction
     ) -> None:
         """Push a signal frame and run the user handler."""
+        machine = self.machine
+        obs = machine.obs
+        if obs is None:
+            self._deliver_one_body(thread, info, action)
+            return
+        span = obs.enter_span(
+            "kernel.signal.deliver", str(info.signum), None
+        )
+        try:
+            self._deliver_one_body(thread, info, action)
+        finally:
+            obs.exit_span(span)
+
+    def _deliver_one_body(
+        self, thread: KThread, info: SigInfo, action: SigAction
+    ) -> None:
         machine = self.machine
         machine.charge("signal_deliver")
         signum_user = info.signum

@@ -128,7 +128,21 @@ class VFS:
         self._machine.charge("path_lookup_component", max(1, components))
 
     def resolve(self, path: str, cwd: Optional[Directory] = None) -> Inode:
-        """Resolve ``path`` to an inode, charging per component."""
+        """Resolve ``path`` to an inode, charging per component.
+
+        A ``kernel.vfs.lookup`` profiling span when observability is on —
+        which is how dyld's 115-library filesystem walk shows up as VFS
+        time nested under ``ios.dyld.walk`` in the flame table."""
+        obs = self._machine.obs
+        if obs is None:
+            return self._resolve_body(path, cwd)
+        span = obs.enter_span("kernel.vfs.lookup", path, None)
+        try:
+            return self._resolve_body(path, cwd)
+        finally:
+            obs.exit_span(span)
+
+    def _resolve_body(self, path: str, cwd: Optional[Directory]) -> Inode:
         parts = self.split(path)
         self._charge_lookup(len(parts))
         if self._machine.faults is not None:

@@ -1,0 +1,58 @@
+"""repro.obs — full-stack telemetry for the Cider simulation.
+
+The observability subsystem (spans, metrics, virtual-time profiler,
+exporters).  Install on a machine with::
+
+    obs = machine.install_observatory()
+    ... run workload ...
+    print(text_report(obs))
+    write_chrome_trace(obs, "trace.json")
+
+Everything is off by default; instrumented fast paths pay exactly one
+``machine.obs is None`` test, and no telemetry code ever charges the
+virtual clock — enabling observability cannot perturb measured virtual
+time (see ``tests/test_obs.py::TestZeroCostWhenOff``).
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKET_BOUNDS_NS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .observatory import Observatory
+from .profiler import FlameNode, Profiler, SubsystemStat, UNATTRIBUTED
+from .spans import NULL_SPAN, NullSpan, Span
+from .exporters import (
+    chrome_trace,
+    histogram_report,
+    text_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .report import format_summary, run_summary, write_summary
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_BOUNDS_NS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observatory",
+    "FlameNode",
+    "Profiler",
+    "SubsystemStat",
+    "UNATTRIBUTED",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "chrome_trace",
+    "histogram_report",
+    "text_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "format_summary",
+    "run_summary",
+    "write_summary",
+]

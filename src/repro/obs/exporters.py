@@ -1,0 +1,194 @@
+"""Exporters: Chrome trace-event JSON and a ``perf report``-style dump.
+
+The Chrome format is the `chrome://tracing` / Perfetto "JSON Object
+Format": a top-level object with a ``traceEvents`` array of ``B``/``E``
+duration events (microsecond ``ts``), plus ``M`` metadata events naming
+each simulated thread.  Spans open/close strictly LIFO per simulated
+thread, so the B/E pairs nest by construction.
+
+Everything emitted is deterministic: events are already in emission
+order (virtual time is monotonic), names are sorted where sets are
+involved, and JSON is dumped with sorted keys.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..sim.clock import PSEC_PER_NSEC
+from .observatory import Observatory
+from .profiler import UNATTRIBUTED
+
+_PS_PER_USEC = PSEC_PER_NSEC * 1_000
+
+
+def chrome_trace(
+    obs: Observatory, process_name: str = "cider-sim"
+) -> Dict[str, object]:
+    """The trace as a Chrome trace-event JSON object (ready to dump)."""
+    events: List[Dict[str, object]] = []
+    seen_tids: Dict[int, str] = {}
+    events.append(
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    )
+    all_events = list(obs.span_events)
+    # Balance spans still open (daemon loops blocked in receive, etc.).
+    all_events.extend(obs.pending_close_events())
+    for phase, now_ps, tid, thread_name, subsystem, name, attrs in all_events:
+        if tid not in seen_tids:
+            seen_tids[tid] = thread_name
+        record: Dict[str, object] = {
+            "ph": phase,
+            "pid": 1,
+            "tid": tid,
+            "ts": now_ps / _PS_PER_USEC,  # microseconds, exact ps / 1e6
+        }
+        if phase == "B":
+            record["name"] = f"{subsystem}:{name}" if name else subsystem
+            record["cat"] = subsystem
+            if attrs:
+                record["args"] = {k: _jsonable(v) for k, v in attrs.items()}
+        events.append(record)
+    for tid in sorted(seen_tids):
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": seen_tids[tid]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "droppedSpanEvents": obs.dropped_span_events,
+            "profiledNs": obs.profiled_ns(),
+        },
+    }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_chrome_trace(
+    obs: Observatory, path: str, process_name: str = "cider-sim"
+) -> None:
+    """Write ``trace.json`` loadable by chrome://tracing / Perfetto."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(obs, process_name), fh, sort_keys=True)
+
+
+def validate_chrome_trace(trace: Dict[str, object]) -> List[str]:
+    """Structural validation of a trace object: well-formed ``traceEvents``
+    with nested (balanced, LIFO) B/E pairs per tid and monotonic ``ts``.
+    Returns a list of problems (empty == valid)."""
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    stacks: Dict[object, List[Dict[str, object]]] = {}
+    last_ts: Dict[object, float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            problems.append(f"event {index}: not a trace event object")
+            continue
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        tid = event.get("tid")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {index}: missing/bad ts")
+            continue
+        if ts < last_ts.get(tid, float("-inf")):
+            problems.append(f"event {index}: ts moves backwards on tid {tid}")
+        last_ts[tid] = ts
+        if phase == "B":
+            if "name" not in event:
+                problems.append(f"event {index}: B event without name")
+            stacks.setdefault(tid, []).append(event)
+        elif phase == "E":
+            stack = stacks.setdefault(tid, [])
+            if not stack:
+                problems.append(f"event {index}: E without open B on tid {tid}")
+            else:
+                stack.pop()
+        else:
+            problems.append(f"event {index}: unsupported phase {phase!r}")
+    for tid, stack in sorted(stacks.items(), key=lambda kv: str(kv[0])):
+        if stack:
+            problems.append(f"tid {tid}: {len(stack)} unclosed B events")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Plain-text ("perf report") rendering.
+# ---------------------------------------------------------------------------
+
+
+def text_report(obs: Observatory, title: str = "virtual-time profile") -> str:
+    """A deterministic, human-readable profile dump."""
+    profiler = obs.profiler
+    total_ps = profiler.observed_ps
+    lines: List[str] = []
+    lines.append(f"# {title}")
+    lines.append(
+        f"# profiled {total_ps / PSEC_PER_NSEC:.0f} virtual ns "
+        f"({len(obs.span_events)} span events)"
+    )
+    lines.append("")
+    lines.append(
+        f"{'SELF%':>7} {'SELF ns':>14} {'TOTAL ns':>14} {'CALLS':>9}  SUBSYSTEM"
+    )
+    rows = [
+        (stat.subsystem, stat.calls, stat.self_ps, stat.total_ps)
+        for stat in profiler.subsystem_table()
+    ]
+    if profiler.unattributed_ps:
+        rows.append((UNATTRIBUTED, 0, profiler.unattributed_ps, profiler.unattributed_ps))
+        rows.sort(key=lambda r: (-r[2], r[0]))
+    for subsystem, calls, self_ps, sub_total_ps in rows:
+        pct = 100.0 * self_ps / total_ps if total_ps else 0.0
+        lines.append(
+            f"{pct:7.2f} {self_ps / PSEC_PER_NSEC:14.0f} "
+            f"{sub_total_ps / PSEC_PER_NSEC:14.0f} {calls:9d}  {subsystem}"
+        )
+    lines.append("")
+    lines.append("# flame (folded stacks: path calls self-ns total-ns)")
+    for path, calls, self_ps, node_total_ps in profiler.flame_rows():
+        lines.append(
+            f"{path} {calls} {self_ps / PSEC_PER_NSEC:.0f} "
+            f"{node_total_ps / PSEC_PER_NSEC:.0f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def histogram_report(obs: Observatory) -> str:
+    """Latency percentiles for every histogram metric, name-sorted."""
+    lines = [
+        f"{'METRIC':<34} {'COUNT':>8} {'P50 ns':>12} {'P95 ns':>12} "
+        f"{'P99 ns':>12} {'MAX ns':>14}"
+    ]
+    snapshot = obs.metrics.snapshot()
+    for name in sorted(snapshot):
+        record = snapshot[name]
+        if record.get("type") != "histogram":
+            continue
+        lines.append(
+            f"{name:<34} {record['count']:>8} {record['p50']:>12.0f} "
+            f"{record['p95']:>12.0f} {record['p99']:>12.0f} "
+            f"{(record['max'] or 0):>14.0f}"
+        )
+    return "\n".join(lines) + "\n"

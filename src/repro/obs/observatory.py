@@ -1,0 +1,198 @@
+"""The per-machine observability hub.
+
+An :class:`Observatory` bundles the three telemetry surfaces of one
+machine — hierarchical spans + virtual-time profiler, the typed metrics
+registry, and the span-event buffer the exporters read — behind a single
+install point (:meth:`repro.hw.machine.Machine.install_observatory`).
+
+Disabled is the default and costs one ``is None`` test at every
+instrumentation site, exactly like ``Trace.enabled`` and
+``Machine.faults``; nothing here ever charges virtual time, so enabling
+or disabling observability cannot change a workload's virtual-ns totals
+(the zero-cost-when-off invariant, asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..sim.clock import PSEC_PER_NSEC
+from .metrics import MetricsRegistry
+from .profiler import Profiler
+from .spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+
+#: Span-event record: (phase "B"/"E", timestamp_ps, tid, thread_name,
+#: subsystem, name, attrs-or-None).  Kept as tuples during the run and
+#: serialised only at export time.
+SpanEvent = Tuple[str, int, int, str, str, str, Optional[Dict[str, object]]]
+
+
+class _SpanContext:
+    """Context manager wrapping one span open/close pair."""
+
+    __slots__ = ("_obs", "_subsystem", "_name", "_attrs", "span")
+
+    def __init__(
+        self,
+        obs: "Observatory",
+        subsystem: str,
+        name: str,
+        attrs: Optional[Dict[str, object]],
+    ) -> None:
+        self._obs = obs
+        self._subsystem = subsystem
+        self._name = name
+        self._attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._obs.enter_span(
+            self._subsystem, self._name, self._attrs
+        )
+        return self.span
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if self.span is not None:
+            self._obs.exit_span(self.span)
+        return False
+
+
+class Observatory:
+    """Spans + profiler + metrics + exportable event buffer."""
+
+    def __init__(
+        self,
+        record_span_events: bool = True,
+        max_span_events: int = 1_000_000,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.profiler = Profiler()
+        self.profiler.on_span_closed = self._on_span_closed
+        #: Record B/E span events for the Chrome-trace exporter.  Span
+        #: accounting and metrics stay on when this is off.
+        self.record_span_events = record_span_events
+        self.max_span_events = max_span_events
+        self.span_events: List[SpanEvent] = []
+        self.dropped_span_events = 0
+        #: Record per-span latency histograms (``<subsystem>.ns``).
+        self.record_latency_histograms = True
+        self._machine: Optional["Machine"] = None
+        #: ``clock.charged_ps`` at attach time — profiling starts here.
+        self.attach_charged_ps = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, machine: "Machine") -> None:
+        """Bind to ``machine``: follow its scheduler token and clock."""
+        self._machine = machine
+        scheduler = machine.scheduler
+        self.profiler.current_context = lambda: scheduler._current
+        self.profiler.context_identity = self._identity
+        self.attach_charged_ps = machine.clock.charged_ps
+
+    @staticmethod
+    def _identity(context: object) -> Tuple[int, str]:
+        sid = getattr(context, "sid", 0)
+        name = getattr(context, "name", "controller")
+        return int(sid), str(name)
+
+    @property
+    def clock(self):
+        if self._machine is None:
+            raise RuntimeError("observatory is not attached to a machine")
+        return self._machine.clock
+
+    # -- span API -----------------------------------------------------------
+
+    def span(
+        self, subsystem: str, name: str = "", **attrs: object
+    ) -> _SpanContext:
+        """``with obs.span("kernel.trap", "linux", nr=4): ...``"""
+        return _SpanContext(self, subsystem, name, attrs or None)
+
+    def enter_span(
+        self,
+        subsystem: str,
+        name: str = "",
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        now_ps = self.clock.now_ps
+        span = self.profiler.enter_span(subsystem, name, attrs, now_ps)
+        if self.record_span_events:
+            self._record_event("B", now_ps, span)
+        return span
+
+    def exit_span(self, span: Span) -> None:
+        self.profiler.exit_span(span, self.clock.now_ps)
+
+    def _on_span_closed(self, span: Span) -> None:
+        """Profiler callback for every finished span (including spans
+        force-closed during exception unwind)."""
+        if self.record_span_events:
+            self._record_event("E", span.end_ps or 0, span)
+        if self.record_latency_histograms:
+            self.metrics.histogram(f"{span.subsystem}.ns").record(span.total_ns)
+            self.metrics.counter(f"{span.subsystem}.calls").inc()
+
+    def _record_event(self, phase: str, now_ps: int, span: Span) -> None:
+        if len(self.span_events) >= self.max_span_events:
+            self.dropped_span_events += 1
+            return
+        self.span_events.append(
+            (
+                phase,
+                now_ps,
+                span.tid,
+                span.thread_name,
+                span.subsystem,
+                span.name,
+                span.attrs,
+            )
+        )
+
+    def pending_close_events(self) -> List[SpanEvent]:
+        """Synthetic ``E`` events (at the current virtual time) for spans
+        still open — daemon service loops parked in ``mach_msg_receive``
+        hold their span across the whole run.  The Chrome exporter appends
+        these so the emitted trace is always balanced; the live spans are
+        *not* closed."""
+        now_ps = self._machine.clock.now_ps if self._machine is not None else 0
+        events: List[SpanEvent] = []
+        for stack in self.profiler._stacks.values():
+            for span in reversed(stack):
+                events.append(
+                    (
+                        "E",
+                        now_ps,
+                        span.tid,
+                        span.thread_name,
+                        span.subsystem,
+                        span.name,
+                        None,
+                    )
+                )
+        return events
+
+    # -- scheduler hook -----------------------------------------------------
+
+    def on_context_switch(self, from_name: str, to_name: str) -> None:
+        self.metrics.counter("sim.sched.switches").inc()
+
+    # -- summary numbers ----------------------------------------------------
+
+    def profiled_ps(self) -> int:
+        """Charged ps observed since attach (== clock delta, exactly)."""
+        return self.profiler.observed_ps
+
+    def profiled_ns(self) -> float:
+        return self.profiler.observed_ps / PSEC_PER_NSEC
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observatory metrics={len(self.metrics)} "
+            f"events={len(self.span_events)} "
+            f"profiled={self.profiled_ns():.0f}ns>"
+        )

@@ -1,0 +1,80 @@
+"""Machine-readable run summaries for experiments and benchmarks.
+
+``run_summary`` collapses a machine's clock, metrics, and profile into
+one JSON-serialisable dict; EXPERIMENTS-style scripts and the CI
+determinism gate call it so that "the telemetry itself is deterministic"
+is an enforced property, not an aspiration: two same-seed runs must
+produce byte-identical summary JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..sim.clock import PSEC_PER_NSEC
+from .observatory import Observatory
+from .profiler import UNATTRIBUTED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+
+
+def run_summary(
+    machine: "Machine",
+    obs: Optional[Observatory] = None,
+    label: str = "run",
+) -> Dict[str, object]:
+    """One deterministic dict describing a finished run."""
+    obs = obs if obs is not None else machine.obs
+    clock = machine.clock
+    summary: Dict[str, object] = {
+        "label": label,
+        "machine": machine.profile.name,
+        "seed": machine.profile.seed,
+        "clock": {
+            "now_ns": clock.now_ns_int,
+            "charged_ps": clock.charged_ps,
+        },
+    }
+    if obs is None:
+        return summary
+    profiler = obs.profiler
+    profile_rows = [
+        {
+            "subsystem": stat.subsystem,
+            "calls": stat.calls,
+            "self_ps": stat.self_ps,
+            "total_ps": stat.total_ps,
+        }
+        for stat in profiler.subsystem_table()
+    ]
+    if profiler.unattributed_ps:
+        profile_rows.append(
+            {
+                "subsystem": UNATTRIBUTED,
+                "calls": 0,
+                "self_ps": profiler.unattributed_ps,
+                "total_ps": profiler.unattributed_ps,
+            }
+        )
+    summary["profile"] = profile_rows
+    summary["profiled_ns"] = obs.profiled_ps() / PSEC_PER_NSEC
+    summary["conservation_ok"] = profiler.conservation_check()
+    summary["open_spans"] = profiler.open_span_count()
+    summary["metrics"] = obs.metrics.snapshot()
+    summary["span_events"] = len(obs.span_events)
+    summary["dropped_span_events"] = obs.dropped_span_events
+    return summary
+
+
+def write_summary(summary: Dict[str, object], path: str) -> None:
+    """Dump a summary as stable (sorted-key, fixed-separator) JSON."""
+    with open(path, "w") as fh:
+        json.dump(summary, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """The same content as a stable string (for stdout diffing in CI)."""
+    return json.dumps(summary, sort_keys=True, indent=2)

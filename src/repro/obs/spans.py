@@ -1,0 +1,124 @@
+"""Hierarchical spans over virtual time.
+
+A :class:`Span` is one timed region of simulated work — a syscall, a
+persona switch, a diplomatic call, a dyld walk, a Mach message send.
+Spans are carried **per simulated thread** (each thread of the
+deterministic scheduler owns its own stack), so a syscall span cleanly
+nests the persona-switch / diplomat / VFS child spans opened underneath
+it, even while other threads run and charge time in between: virtual-time
+attribution follows the token, not the wall clock.
+
+Two costs are recorded per span, both in exact integer picoseconds:
+
+* ``self_ps`` — charges made while this span was the *innermost* open
+  span on its thread (exclusive time);
+* ``total_ps`` — ``self_ps`` plus the total of every completed child
+  (inclusive time).
+
+Opening or closing a span charges **zero** virtual time: the profiler is
+an observer of ``clock.charge``, never a participant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..sim.clock import PSEC_PER_NSEC
+
+
+class Span:
+    """One open (or finished) timed region on a simulated thread."""
+
+    __slots__ = (
+        "subsystem",
+        "name",
+        "attrs",
+        "tid",
+        "thread_name",
+        "depth",
+        "start_ps",
+        "end_ps",
+        "self_ps",
+        "child_ps",
+        "parent",
+    )
+
+    def __init__(
+        self,
+        subsystem: str,
+        name: str,
+        attrs: Optional[Dict[str, object]],
+        tid: int,
+        thread_name: str,
+        depth: int,
+        start_ps: int,
+        parent: Optional["Span"],
+    ) -> None:
+        self.subsystem = subsystem
+        self.name = name
+        self.attrs = attrs
+        self.tid = tid
+        self.thread_name = thread_name
+        self.depth = depth
+        self.start_ps = start_ps
+        self.end_ps: Optional[int] = None
+        self.self_ps = 0
+        self.child_ps = 0
+        self.parent = parent
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def total_ps(self) -> int:
+        """Inclusive charged picoseconds (self + completed children)."""
+        return self.self_ps + self.child_ps
+
+    @property
+    def self_ns(self) -> float:
+        return self.self_ps / PSEC_PER_NSEC
+
+    @property
+    def total_ns(self) -> float:
+        return self.total_ps / PSEC_PER_NSEC
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ps is not None
+
+    def path(self) -> Tuple[str, ...]:
+        """The chain of subsystem labels from the root span down to here."""
+        labels = []
+        node: Optional[Span] = self
+        while node is not None:
+            labels.append(node.subsystem)
+            node = node.parent
+        return tuple(reversed(labels))
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"<Span {self.subsystem}:{self.name or '-'} {state} "
+            f"self={self.self_ns:.3f}ns total={self.total_ns:.3f}ns>"
+        )
+
+
+class NullSpan:
+    """Shared no-op context manager returned when observability is off.
+
+    ``Machine.span(...)`` hands this out so instrumented code can always
+    use ``with machine.span(...)`` — the disabled path costs one attribute
+    test plus the with-protocol on a singleton, and charges zero virtual
+    time (trivially: it does nothing at all).
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+#: The singleton used by every machine with observability disabled.
+NULL_SPAN = NullSpan()

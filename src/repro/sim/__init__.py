@@ -5,7 +5,14 @@ deterministic scheduler, structured tracing and the named cost model that
 the simulated kernels and user spaces charge work against.
 """
 
-from .clock import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, Stopwatch, VirtualClock
+from .clock import (
+    NSEC_PER_MSEC,
+    NSEC_PER_SEC,
+    NSEC_PER_USEC,
+    PSEC_PER_NSEC,
+    Stopwatch,
+    VirtualClock,
+)
 from .costs import DEFAULT_COSTS, CostModel, UnknownCostError
 from .errors import (
     ClockError,
@@ -13,6 +20,7 @@ from .errors import (
     SchedulerError,
     SimulationError,
     ThreadKilled,
+    TraceDisabledError,
 )
 from .faults import (
     FAULT_CATEGORY,
@@ -37,6 +45,7 @@ __all__ = [
     "NSEC_PER_MSEC",
     "NSEC_PER_SEC",
     "NSEC_PER_USEC",
+    "PSEC_PER_NSEC",
     "Stopwatch",
     "VirtualClock",
     "DEFAULT_COSTS",
@@ -47,6 +56,7 @@ __all__ = [
     "SchedulerError",
     "SimulationError",
     "ThreadKilled",
+    "TraceDisabledError",
     "Scheduler",
     "SimThread",
     "ThreadState",

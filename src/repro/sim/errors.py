@@ -31,5 +31,15 @@ class ClockError(SimulationError):
     """Illegal use of the virtual clock (negative charge, bad deadline)."""
 
 
+class TraceDisabledError(SimulationError):
+    """Event records were requested from a trace that was never enabled.
+
+    Counters are always maintained, but full event records are only kept
+    while ``Trace.enabled`` is True.  Asking for events from a trace that
+    was never switched on is almost always a test bug — the assertion
+    would vacuously pass on an empty list — so it raises instead.
+    """
+
+
 class SchedulerError(SimulationError):
     """Illegal scheduler operation (e.g. blocking from a non-sim thread)."""

@@ -6,6 +6,10 @@ off by default (the hot syscall path only pays a boolean test) and is
 enabled per-machine for debugging and for tests that assert on behaviour
 rather than timing, e.g. "exactly one persona switch happened per
 diplomatic call".
+
+Timestamps are integer nanoseconds: emission rounds the clock's exact
+picosecond counter once, so rendered trace logs are byte-identical across
+platforms (no float formatting in the log path).
 """
 
 from __future__ import annotations
@@ -13,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from .errors import TraceDisabledError
 
 #: Category for injected faults (see :mod:`repro.sim.faults`): one event
 #: is emitted per injected fault — (point, rule id, chosen outcome) — so
@@ -26,16 +32,16 @@ WATCHDOG_CATEGORY = "watchdog"
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One logged event."""
+    """One logged event.  ``timestamp_ns`` is integer nanoseconds."""
 
-    timestamp_ns: float
+    timestamp_ns: int
     category: str
     name: str
     detail: Dict[str, object] = field(default_factory=dict)
 
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"[{self.timestamp_ns:14.0f}] {self.category}:{self.name} {extras}"
+        return f"[{self.timestamp_ns:14d}] {self.category}:{self.name} {extras}"
 
 
 class Trace:
@@ -43,14 +49,37 @@ class Trace:
 
     Counters are always maintained (they are cheap and power assertions
     such as "N syscalls were dispatched through the XNU table"); full event
-    records are kept only while :attr:`enabled` is True.
+    records are kept only while :attr:`enabled` is True.  Category rollups
+    are kept alongside the per-(category, name) counters so that
+    ``count(category)`` is O(1) rather than a scan of every key.
     """
 
     def __init__(self, capacity: int = 100_000) -> None:
-        self.enabled = False
+        self._enabled = False
+        self._ever_enabled = False
         self._capacity = capacity
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._counters: Dict[Tuple[str, str], int] = {}
+        self._category_totals: Dict[str, int] = {}
+
+    # -- enable/disable -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        if value:
+            self._ever_enabled = True
+
+    @property
+    def ever_enabled(self) -> bool:
+        """True once tracing has been switched on at least once."""
+        return self._ever_enabled
+
+    # -- emission -----------------------------------------------------------
 
     def emit(
         self,
@@ -61,23 +90,36 @@ class Trace:
     ) -> None:
         key = (category, name)
         self._counters[key] = self._counters.get(key, 0) + 1
-        if self.enabled:
+        self._category_totals[category] = (
+            self._category_totals.get(category, 0) + 1
+        )
+        if self._enabled:
             self._events.append(
-                TraceEvent(clock_now_ns, category, name, dict(detail))
+                TraceEvent(int(round(clock_now_ns)), category, name, dict(detail))
             )
 
     def count(self, category: str, name: Optional[str] = None) -> int:
         """Events counted for ``category`` (optionally a specific name)."""
         if name is not None:
             return self._counters.get((category, name), 0)
-        return sum(
-            n for (cat, _), n in self._counters.items() if cat == category
-        )
+        return self._category_totals.get(category, 0)
 
     def events(
         self, category: Optional[str] = None, name: Optional[str] = None
     ) -> List[TraceEvent]:
-        """Logged events, optionally filtered (requires tracing enabled)."""
+        """Logged events, optionally filtered (requires tracing enabled).
+
+        Raises :class:`~repro.sim.errors.TraceDisabledError` if tracing
+        was never enabled on this trace: every event would have been
+        dropped at emit time, so returning ``[]`` would let assertions on
+        event contents vacuously pass.
+        """
+        if not self._ever_enabled:
+            raise TraceDisabledError(
+                "trace.events() on a trace that was never enabled — "
+                "set trace.enabled = True before the workload runs "
+                "(counters via trace.count() work without enabling)"
+            )
         result = []
         for event in self._events:
             if category is not None and event.category != category:
@@ -98,6 +140,7 @@ class Trace:
     def clear(self) -> None:
         self._events.clear()
         self._counters.clear()
+        self._category_totals.clear()
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(list(self._events))

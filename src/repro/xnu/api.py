@@ -125,6 +125,18 @@ class XNUKernelAPI:
         instructions the foreign code would execute)."""
         raise NotImplementedError
 
+    # -- observability hook ---------------------------------------------------
+
+    def span(self, subsystem: str, name: str = "", **attrs: object):
+        """A hierarchical profiling span (the foreign analogue of XNU's
+        ``KDBG`` tracepoints).  The default environment returns a shared
+        no-op context manager; duct-tape environments bind it to the host
+        machine's observatory.  Foreign code may use it unconditionally —
+        disabled observability costs one test and no virtual time."""
+        from ..obs.spans import NULL_SPAN
+
+        return NULL_SPAN
+
     # -- fault injection hook -----------------------------------------------------------
 
     #: True while the host machine has a fault plan installed.  Foreign

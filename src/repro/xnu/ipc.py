@@ -367,6 +367,21 @@ class MachIPC:
         reply_name: int = MACH_PORT_NULL,
         timeout_ns: Optional[float] = None,
     ) -> int:
+        """One mach_msg send — a ``xnu.ipc.send`` profiling span (the
+        KDBG-style tracepoint of the duct-taped subsystem)."""
+        with self.xnu.span("xnu.ipc.send", msg_id=msg.msg_id):
+            return self._mach_msg_send_body(
+                task, dest_name, msg, reply_name, timeout_ns
+            )
+
+    def _mach_msg_send_body(
+        self,
+        task: object,
+        dest_name: int,
+        msg: MachMessage,
+        reply_name: int = MACH_PORT_NULL,
+        timeout_ns: Optional[float] = None,
+    ) -> int:
         if self.xnu.fault_active:
             code = self._fault_code(
                 "mach.send", MACH_SEND_TIMED_OUT,
@@ -429,6 +444,18 @@ class MachIPC:
         return MACH_MSG_SUCCESS
 
     def mach_msg_receive(
+        self,
+        task: object,
+        name: int,
+        timeout_ns: Optional[float] = None,
+    ) -> Tuple[int, Optional[MachMessage]]:
+        """One mach_msg receive — a ``xnu.ipc.receive`` profiling span.
+        Time spent blocked waiting for a message charges nothing; only
+        the receive path's own work lands in the span."""
+        with self.xnu.span("xnu.ipc.receive", port=name):
+            return self._mach_msg_receive_body(task, name, timeout_ns)
+
+    def _mach_msg_receive_body(
         self,
         task: object,
         name: int,

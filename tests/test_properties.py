@@ -10,7 +10,7 @@ from repro.hw.display import PixelBuffer
 from repro.hw.profiles import nexus7
 from repro.kernel.mm import PAGE_SIZE, AddressSpace
 from repro.kernel.vfs import VFS
-from repro.sim import CostModel, VirtualClock
+from repro.sim import PSEC_PER_NSEC, CostModel, VirtualClock
 from repro.xnu.ipc import IPCSpace, RIGHT_RECEIVE, RIGHT_SEND
 
 
@@ -19,10 +19,14 @@ from repro.xnu.ipc import IPCSpace, RIGHT_RECEIVE, RIGHT_SEND
 
 @given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=50))
 def test_clock_charges_accumulate_exactly(charges):
+    # The clock quantises each charge once, to the picosecond, and then
+    # accumulates in exact integer arithmetic: totals are the integer sum
+    # of the per-charge roundings, independent of charge order/platform.
     clock = VirtualClock()
     for ns in charges:
         clock.charge(ns)
-    assert clock.now_ns == sum(charges)
+    assert clock.now_ps == sum(round(ns * PSEC_PER_NSEC) for ns in charges)
+    assert clock.charged_ps == clock.now_ps
     assert clock.charged_ns == clock.now_ns
 
 
