@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Resource exhaustion and graceful degradation across both personas.
+
+Two scenarios on a finite RAM budget (a ResourceEnvelope attached to the
+machine), each fully deterministic — run the script twice with the same
+seed and the kill logs are byte-identical:
+
+1. **Cider machine, jetsam vs lowmemorykiller.**  Two identical iOS apps
+   hold a decoded-photo cache; one frees it on
+   ``didReceiveMemoryWarning``, the other ignores the warning.  An
+   equivalent Android app holds the same cache.  A memory hog pushes the
+   machine to critical pressure: jetsam warns first (the well-behaved
+   app sheds its cache and survives), then kills by band and footprint —
+   the iOS app whose dyld walk mapped ~90 MB of libraries is reached
+   before the few-MB Android app ever shows up on the
+   lowmemorykiller's radar (paper §6.2's footprint story).
+2. **Vanilla Android framework.**  The launcher is backgrounded by a
+   foreground app (ActivityManager drops its oom_adj), the hog pushes to
+   critical, and the lowmemorykiller kills strictly by badness:
+   background before foreground, system_server never.
+
+Run:  PYTHONPATH=src python examples/memory_pressure.py \
+          [seed] [summary.json] [kill_log.txt]
+"""
+
+import json
+import sys
+
+from repro.binfmt import elf_executable, macho_executable
+from repro.cider.system import build_cider, build_vanilla_android
+from repro.sim import ResourceEnvelope
+
+MB = 1 << 20
+CACHE_MB = 24          # the per-app "decoded photo cache"
+HOG_CHUNK_MB = 8       # the hog's allocation granularity
+RAM_BUDGET_MB = 512    # scenario envelope
+
+
+# -- scenario 1: Cider (iOS + Android side by side) ------------------------------
+
+
+def _ios_app_body(heeds_warnings):
+    """An iOS app holding a CACHE_MB photo cache, blocked in its run loop."""
+
+    def body(ctx, argv):
+        from repro.ios.uikit import UIApplication
+
+        class Delegate:
+            cache = None
+
+            if heeds_warnings:
+
+                def did_receive_memory_warning(self, app):
+                    if self.cache is not None:
+                        app.ctx.process.address_space.unmap(self.cache)
+                        self.cache = None
+
+        delegate = Delegate()
+        app = UIApplication(ctx, delegate)
+        delegate.cache = ctx.process.address_space.map(
+            "photo_cache", CACHE_MB * MB, writable=True
+        )
+        return app.run()  # blocks on the event port
+
+    return body
+
+
+def _android_app_body(ctx, argv):
+    """The 'equivalent' Android app: same cache, tiny library footprint."""
+    ctx.process.address_space.map("photo_cache", CACHE_MB * MB, writable=True)
+    rfd, _wfd = ctx.libc.pipe()
+    ctx.libc.read(rfd, 1)  # park forever: nothing ever writes
+    return 0
+
+
+def _memhog_body(ctx, argv):
+    """Allocate until the envelope refuses, then yield to the daemons."""
+    from repro.kernel.errno import SyscallError
+
+    chunks = 0
+    while True:
+        try:
+            ctx.process.address_space.map(
+                f"hog_{chunks}", HOG_CHUNK_MB * MB, writable=True
+            )
+        except SyscallError:
+            break
+        chunks += 1
+    for _ in range(4):  # let jetsam / lowmemorykiller run their episodes
+        ctx.libc.nanosleep(1_000_000.0)
+    return chunks
+
+
+def scenario_cider(seed):
+    print("=== scenario 1: jetsam + memory warnings on Cider "
+          f"(RAM budget {RAM_BUDGET_MB} MB) ===")
+    system = build_cider()
+    kernel = system.kernel
+    machine = system.machine
+    envelope = machine.install_resources(ResourceEnvelope(ram_mb=RAM_BUDGET_MB))
+    kernel.start_pressure_daemons()
+
+    for name, body in (
+        ("photos-good", _ios_app_body(True)),
+        ("photos-bad", _ios_app_body(False)),
+    ):
+        path = f"/bin/{name}"
+        kernel.vfs.install_binary(path, macho_executable(name, body))
+        kernel.start_process(path, [path], name=name, daemon=True)
+    kernel.vfs.install_binary(
+        "/system/bin/droidapp", elf_executable("droidapp", _android_app_body)
+    )
+    kernel.start_process(
+        "/system/bin/droidapp", name="droidapp", daemon=True
+    )
+    kernel.vfs.install_binary(
+        "/system/bin/memhog", elf_executable("memhog", _memhog_body)
+    )
+    hog = kernel.start_process("/system/bin/memhog", name="memhog")
+    chunks = system.wait_for(hog)
+
+    survivors = sorted(
+        p.name for p in kernel.processes.live_processes()
+        if p.name in ("photos-good", "photos-bad", "droidapp")
+    )
+    footprints = {
+        p.name: p.address_space.total_bytes // MB
+        for p in kernel.processes.live_processes()
+        if p.name in ("photos-good", "droidapp")
+    }
+    print(f"  hog allocated {chunks} x {HOG_CHUNK_MB} MB before ENOMEM")
+    print(f"  pressure level now: {envelope.pressure_level()}")
+    print(f"  kills ({len(envelope.kills)}):")
+    for event in envelope.kills:
+        print(f"    {event.format()}")
+    print(f"  survivors: {survivors}")
+    print(f"  survivor footprints (MB): "
+          f"{json.dumps(footprints, sort_keys=True)}")
+    print("  tombstones:")
+    for report in kernel.crash_reports:
+        print(f"    pid={report.pid} {report.name} sig={report.signum} "
+              f"{report.reason}")
+    result = {
+        "chunks": chunks,
+        "kills": [e.format() for e in envelope.kills],
+        "survivors": survivors,
+        "footprints_mb": footprints,
+        "jetsam_kills": len(envelope.kills_by("jetsam")),
+        "lmk_kills": len(envelope.kills_by("lowmemorykiller")),
+    }
+    kill_log = envelope.kill_log()
+    system.shutdown()
+    print()
+    return result, kill_log
+
+
+# -- scenario 2: vanilla Android framework + lowmemorykiller ---------------------
+
+
+def scenario_android(seed):
+    print("=== scenario 2: lowmemorykiller on vanilla Android "
+          f"(RAM budget {RAM_BUDGET_MB} MB) ===")
+    system = build_vanilla_android(with_framework=True)
+    kernel = system.kernel
+    machine = system.machine
+    envelope = machine.install_resources(ResourceEnvelope(ram_mb=RAM_BUDGET_MB))
+    kernel.start_pressure_daemons()
+
+    from repro.android.framework import AndroidApp
+
+    class Game(AndroidApp):
+        def on_create(self, ctx, controller):
+            ctx.process.address_space.map(
+                "textures", CACHE_MB * MB, writable=True
+            )
+
+    system.android.install_app("game", lambda: Game())
+    system.android.start_app("game")  # launcher drops to background adj
+    system.run_until_idle()
+
+    kernel.vfs.install_binary(
+        "/system/bin/memhog", elf_executable("memhog2", _memhog_body)
+    )
+    hog = kernel.start_process("/system/bin/memhog", name="memhog")
+    # The hog itself is the biggest adj-0 process, so once the background
+    # launcher is gone the lowmemorykiller reaps it — wait_for returns as
+    # soon as the kill lands.
+    system.wait_for(hog)
+
+    adjs = {
+        p.name: p.oom_adj
+        for p in kernel.processes.live_processes()
+        if p.name in ("system_server", "launcher.app", "game.app", "memhog")
+    }
+    hog_killed = any(e.name == "memhog" for e in envelope.kills)
+    print(f"  pressure level now: {envelope.pressure_level()}")
+    print(f"  kills ({len(envelope.kills)}):")
+    for event in envelope.kills:
+        print(f"    {event.format()}")
+    print(f"  hog killed by lowmemorykiller: {hog_killed}")
+    print(f"  oom_adj of survivors: {json.dumps(adjs, sort_keys=True)}")
+    result = {
+        "kills": [e.format() for e in envelope.kills],
+        "hog_killed": hog_killed,
+        "survivor_adjs": adjs,
+        "lmk_kills": len(envelope.kills_by("lowmemorykiller")),
+    }
+    kill_log = envelope.kill_log()
+    system.shutdown()
+    print()
+    return result, kill_log
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2014
+    summary_path = sys.argv[2] if len(sys.argv) > 2 else None
+    kill_log_path = sys.argv[3] if len(sys.argv) > 3 else None
+    print(f"memory pressure demo (seed={seed})\n")
+
+    result1, log1 = scenario_cider(seed)
+    result2, log2 = scenario_android(seed)
+
+    summary = {"seed": seed, "cider": result1, "android": result2}
+    print("summary:", json.dumps(summary, sort_keys=True))
+    if summary_path:
+        with open(summary_path, "w") as fh:
+            json.dump(summary, fh, sort_keys=True, indent=2)
+    if kill_log_path:
+        with open(kill_log_path, "wb") as fh:
+            fh.write(log1 + log2)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

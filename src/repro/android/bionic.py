@@ -196,6 +196,17 @@ class Bionic:
     def nanosleep(self, duration_ns: float) -> int:
         return self._trap(nr.NR_nanosleep, duration_ns)
 
+    # -- resource limits -----------------------------------------------------------------
+
+    def getrlimit(self, which: int) -> object:
+        """Returns ``(soft, hard)``, or -1 with errno set."""
+        return self._trap(nr.NR_getrlimit, which)
+
+    def setrlimit(
+        self, which: int, soft: int, hard: Optional[int] = None
+    ) -> int:
+        return self._trap(nr.NR_setrlimit, which, soft, hard)
+
     # -- signals -------------------------------------------------------------------------
 
     def signal(self, signum: int, handler: object) -> object:

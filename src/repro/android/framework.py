@@ -217,6 +217,10 @@ class AndroidFramework:
         self.system_server = self.kernel.start_process(
             "/system/framework/system_server", name="system_server", daemon=True
         )
+        # system_server is never a lowmemorykiller victim.
+        from ..kernel.pressure import OOM_ADJ_SYSTEM
+
+        self.system_server.oom_adj = OOM_ADJ_SYSTEM
         self.install_app("launcher", lambda: Launcher())
         self.start_app("launcher")
         return self
@@ -326,11 +330,21 @@ class AndroidFramework:
     # -- focus & input ---------------------------------------------------------------
 
     def _focus(self, record: AppRecord) -> None:
+        from ..kernel.pressure import OOM_ADJ_BACKGROUND, OOM_ADJ_FOREGROUND
+
         stack = self.activity_manager.focus_stack
         previous = self.activity_manager.focused
         if previous and previous != record.name:
             self._send(previous, {"type": "lifecycle", "action": "pause"})
             prev_record = self.running.get(previous)
+            # ActivityManager keeps oom_adj in step with focus, exactly
+            # what the lowmemorykiller reads when picking victims.
+            if (
+                prev_record is not None
+                and prev_record.process is not None
+                and prev_record.process.alive
+            ):
+                prev_record.process.oom_adj = OOM_ADJ_BACKGROUND
             if prev_record is not None and prev_record.surface is not None:
                 self.activity_manager.recents.insert(
                     0,
@@ -341,6 +355,8 @@ class AndroidFramework:
                 )
                 # Occluded apps are removed from composition.
                 prev_record.surface.visible = False
+        if record.process is not None and record.process.alive:
+            record.process.oom_adj = OOM_ADJ_FOREGROUND
         if record.surface is not None and not record.surface.visible:
             record.surface.visible = True
             self.flinger.composite()

@@ -30,6 +30,9 @@ class GraphicBuffer:
         self.usage = usage
         self.pixels = PixelBuffer(width_px, height_px)
         self.locked = False
+        #: Bytes charged to the machine's gralloc carveout (0 when no
+        #: resource envelope was installed at allocation time).
+        self.gralloc_reserved = 0
 
     @property
     def size_bytes(self) -> int:
@@ -72,9 +75,20 @@ def _registry(ctx: "UserContext") -> GrallocRegistry:
 def gralloc_alloc(
     ctx: "UserContext", width_px: int, height_px: int, usage: str = "texture"
 ) -> GraphicBuffer:
-    """Allocate a graphic buffer (charges allocator + IOMMU work)."""
+    """Allocate a graphic buffer (charges allocator + IOMMU work).
+
+    With a resource envelope installed the buffer's bytes count against
+    the machine's gralloc carveout (ION-style).  Allocation itself never
+    fails — the carveout overcommits — but once the budget is exceeded
+    SurfaceFlinger degrades by dropping frames until buffers are freed.
+    """
+    buffer = GraphicBuffer(width_px, height_px, usage)
     ctx.machine.charge("gralloc_alloc")
-    return _registry(ctx).register(GraphicBuffer(width_px, height_px, usage))
+    res = ctx.machine.resources
+    if res is not None:
+        res.reserve_gralloc(buffer.size_bytes)
+        buffer.gralloc_reserved = buffer.size_bytes
+    return _registry(ctx).register(buffer)
 
 
 def gralloc_lock(ctx: "UserContext", buffer: GraphicBuffer) -> PixelBuffer:
@@ -90,10 +104,22 @@ def gralloc_lookup(ctx: "UserContext", buffer_id: int) -> Optional[GraphicBuffer
     return _registry(ctx).lookup(buffer_id)
 
 
+def gralloc_free(ctx: "UserContext", buffer: GraphicBuffer) -> None:
+    """Release a buffer and return its bytes to the gralloc carveout —
+    the degradation escape hatch apps use under memory pressure."""
+    _registry(ctx).buffers.pop(buffer.buffer_id, None)
+    if buffer.gralloc_reserved:
+        res = ctx.machine.resources
+        if res is not None:
+            res.release_gralloc(buffer.gralloc_reserved)
+        buffer.gralloc_reserved = 0
+
+
 def gralloc_exports() -> Dict[str, object]:
     return {
         "gralloc_alloc": gralloc_alloc,
         "gralloc_lock": gralloc_lock,
         "gralloc_unlock": gralloc_unlock,
         "gralloc_lookup": gralloc_lookup,
+        "gralloc_free": gralloc_free,
     }

@@ -55,6 +55,17 @@ class Surface:
         self.front = GraphicBuffer(width_px, height_px, usage="window")
         self.back = GraphicBuffer(width_px, height_px, usage="window")
         self.posts = 0
+        #: Bytes charged against the machine's gralloc carveout budget
+        #: (released by :meth:`SurfaceFlinger.destroy_surface`).
+        self.gralloc_reserved = 0
+        res = flinger.machine.resources
+        if res is not None:
+            nbytes = self.front.size_bytes + self.back.size_bytes
+            self.gralloc_reserved = nbytes
+            # The allocation itself never fails (the carveout overcommits,
+            # like ION); exhaustion instead degrades composition — see
+            # SurfaceFlinger.composite.
+            res.reserve_gralloc(nbytes)
 
     def lock_back(self) -> PixelBuffer:
         """The buffer the app draws into."""
@@ -77,6 +88,8 @@ class SurfaceFlinger:
         self.machine = machine
         self.surfaces: List[Surface] = []
         self.compositions = 0
+        #: Frames skipped because the gralloc carveout was exhausted.
+        self.frames_dropped = 0
 
     # -- surface management ------------------------------------------------------
 
@@ -96,6 +109,11 @@ class SurfaceFlinger:
     def destroy_surface(self, surface: Surface) -> None:
         if surface in self.surfaces:
             self.surfaces.remove(surface)
+        if surface.gralloc_reserved:
+            res = self.machine.resources
+            if res is not None:
+                res.release_gralloc(surface.gralloc_reserved)
+            surface.gralloc_reserved = 0
         self.composite()
 
     def find_surface(self, name: str) -> Optional[Surface]:
@@ -107,8 +125,26 @@ class SurfaceFlinger:
     # -- composition -----------------------------------------------------------------
 
     def composite(self) -> None:
-        """Blend all visible surfaces by z-order onto the panel."""
+        """Blend all visible surfaces by z-order onto the panel.
+
+        Graceful degradation: when the gralloc carveout is exhausted the
+        compositor cannot stage the frame — it *drops* it (counted,
+        observable) instead of crashing or blocking, exactly what a
+        missed-vsync frame drop looks like from user space.  Posts keep
+        succeeding; pixels simply stop reaching the panel until buffers
+        are freed.
+        """
         machine = self.machine
+        res = machine.resources
+        if res is not None and res.gralloc_exhausted:
+            self.frames_dropped += 1
+            obs = machine.obs
+            if obs is not None:
+                obs.metrics.counter("android.sf.frames.dropped").inc()
+            machine.emit(
+                "resource", "frame_dropped", compositions=self.compositions
+            )
+            return
         machine.charge("composition")
         frame = PixelBuffer(
             machine.display.width_px, machine.display.height_px

@@ -176,6 +176,10 @@ def enable_cider(
         runtime.launchd = kernel.start_process(
             "/sbin/launchd", name="launchd", daemon=True
         )
+        # launchd sits in the SYSTEM jetsam band: never a pressure victim.
+        from ..kernel.pressure import JETSAM_PRIORITY_SYSTEM
+
+        runtime.launchd.jetsam_priority = JETSAM_PRIORITY_SYSTEM
         # Let launchd reach its steady state (bootstrap port published,
         # configd/notifyd registered) before any app can run.
         machine.run()
@@ -227,6 +231,9 @@ def enable_xnu_native(
         runtime.launchd = kernel.start_process(
             "/sbin/launchd", name="launchd", daemon=True
         )
+        from ..kernel.pressure import JETSAM_PRIORITY_SYSTEM
+
+        runtime.launchd.jetsam_priority = JETSAM_PRIORITY_SYSTEM
         machine.run()
     system.ios = runtime
     return runtime

@@ -61,6 +61,8 @@ SYS_listen = 106
 SYS_socketpair = 135
 SYS_mkdir = 136
 SYS_rmdir = 137
+SYS_getrlimit = 194
+SYS_setrlimit = 195
 SYS_getdirentries = 196
 SYS_lseek = 199
 SYS_posix_spawn = 244
@@ -296,6 +298,11 @@ def _register_bsd(table: DispatchTable, native: bool) -> None:
     table.register(SYS_mkdir, "mkdir", linux.sys_mkdir)
     table.register(SYS_rmdir, "rmdir", linux.sys_rmdir)
     table.register(SYS_getdirentries, "getdirentries", xnu_getdirentries)
+    # rlimits share the Linux handlers directly: the structures they sync
+    # (fd table, address space) are persona-independent kernel state, so
+    # no diplomat is needed — the XNU ABI only re-encodes the result.
+    table.register(SYS_getrlimit, "getrlimit", linux.sys_getrlimit)
+    table.register(SYS_setrlimit, "setrlimit", linux.sys_setrlimit)
     table.register(SYS_lseek, "lseek", linux.sys_lseek)
     table.register(SYS_posix_spawn, "posix_spawn", xnu_posix_spawn)
     table.register(SYS_stat64, "stat64", linux.sys_stat)

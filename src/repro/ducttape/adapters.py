@@ -193,6 +193,19 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
         """Bind foreign tracepoints to the host machine's observatory."""
         return self._machine.span(subsystem, name, **attrs)
 
+    def metric(self, name: str, amount: int = 1) -> None:
+        """Bind foreign ledger counters to the host metrics registry."""
+        obs = self._machine.obs
+        if obs is not None:
+            obs.metrics.counter(name).inc(amount)
+
+    # -- resource pressure -------------------------------------------------------------------
+
+    def pressure_level(self) -> str:
+        """The host resource envelope's view (``normal`` when absent)."""
+        res = self._machine.resources
+        return "normal" if res is None else res.pressure_level()
+
     # -- fault injection ---------------------------------------------------------------------
 
     @property

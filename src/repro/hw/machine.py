@@ -16,6 +16,7 @@ from ..obs.spans import NULL_SPAN, NullSpan
 from ..sim import (
     CostModel,
     FaultPlan,
+    ResourceEnvelope,
     Scheduler,
     SimThread,
     Stopwatch,
@@ -50,6 +51,11 @@ class Machine:
         #: site pays exactly one boolean test, mirroring ``faults``);
         #: install with :meth:`install_observatory`.
         self.obs: Optional[Observatory] = None
+        #: Finite resource budget: None on the fast path (fd/mm/vfs
+        #: enforcement sites pay exactly one boolean test, mirroring
+        #: ``faults`` and ``obs``); install with
+        #: :meth:`install_resources`.
+        self.resources: Optional[ResourceEnvelope] = None
 
         self.cpu = CPU(profile.cpu_cores, profile.cpu_mhz)
         self.gpu = GPU(self, speed_factor=profile.gpu_speed_factor)
@@ -100,6 +106,30 @@ class Machine:
 
     def clear_fault_plan(self) -> None:
         self.faults = None
+
+    # -- resource budgets ---------------------------------------------------------
+
+    def install_resources(
+        self, envelope: Optional[ResourceEnvelope] = None
+    ) -> ResourceEnvelope:
+        """Attach a :class:`~repro.sim.resources.ResourceEnvelope`; every
+        enforcement site charges it from now on.  With no envelope given,
+        budgets come straight from the device profile (the machine's real
+        RAM and flash, gralloc carved out as an eighth of RAM — roughly
+        the ION carveout on the paper's devices)."""
+        if envelope is None:
+            envelope = ResourceEnvelope(
+                ram_mb=self.profile.ram_mb,
+                storage_mb=self.profile.flash_gb * 1024,
+                gralloc_mb=max(1, self.profile.ram_mb // 8),
+            )
+        envelope.attach(self)
+        self.resources = envelope
+        return envelope
+
+    def clear_resources(self) -> None:
+        """Detach the envelope: the fast path is restored exactly."""
+        self.resources = None
 
     # -- observability -----------------------------------------------------------
 

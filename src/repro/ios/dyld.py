@@ -40,6 +40,41 @@ CACHE_HANDLER_BATCH = 8
 
 LIBSYSTEM_STATE = "libSystem"
 
+#: The VMA name the mapped cache carries in every address space.
+SHARED_CACHE_VMA = "dyld_shared_cache"
+
+
+def evict_shared_cache(kernel: "object") -> int:
+    """Jetsam pressure evictor: drop the shared cache's clean pages.
+
+    Unmaps the ``dyld_shared_cache`` submap region from every live
+    process; when the last reference goes the machine-wide (refcounted)
+    reservation is released back to the envelope.  This models XNU
+    discarding the cache's clean, re-faultable pages under pressure — the
+    simulation never reads the region after mapping, so dropping it is
+    behaviour-preserving.  Returns the number of bytes released.
+    """
+    machine = kernel.machine  # type: ignore[attr-defined]
+    res = machine.resources
+    before = res.ram_used if res is not None else 0
+    dropped = 0
+    for process in kernel.processes.live_processes():  # type: ignore[attr-defined]
+        while True:
+            vma = process.address_space.find(SHARED_CACHE_VMA)
+            if vma is None:
+                break
+            dropped += vma.size_bytes
+            process.address_space.unmap(vma)
+    if res is not None:
+        freed = before - res.ram_used
+    else:
+        freed = dropped
+    if dropped:
+        machine.emit(
+            "resource", "dyld_cache_evicted", unmapped=dropped, freed=freed
+        )
+    return freed
+
 
 class SharedCache:
     """The prelinked dyld shared cache: an index of contained images."""
@@ -84,6 +119,9 @@ class Dyld:
     def __init__(self, use_shared_cache: bool = False) -> None:
         self.use_shared_cache = use_shared_cache
         self.last_stats: Optional[DyldStats] = None
+        #: True once :func:`evict_shared_cache` is on the kernel's
+        #: pressure-evictor list (registered on first cache map).
+        self._evictor_registered = False
 
     # -- program startup ---------------------------------------------------------
 
@@ -156,12 +194,17 @@ class Dyld:
                     # submap fork will not copy.
                     machine.charge("dyld_shared_cache_map")
                     process.address_space.map(
-                        "dyld_shared_cache",
+                        SHARED_CACHE_VMA,
                         cache.total_bytes,
                         shared_cache=True,
                     )
                     stats.mapped_bytes += cache.total_bytes
                     cache_mapped = True
+                    if not self._evictor_registered:
+                        self._evictor_registered = True
+                        ctx.kernel.pressure_evictors.append(
+                            lambda k=ctx.kernel: evict_shared_cache(k)
+                        )
                 lib = cache.get(dep)
                 # Prelinked: binding work is already done in the cache.
                 machine.charge("dyld_link_per_lib", 0.25)

@@ -189,6 +189,18 @@ class IOSLibc:
     def pthread_atfork(self, handler: object) -> None:
         self._state()["atfork"].append(handler)
 
+    # -- resource limits -----------------------------------------------------------------
+
+    def getrlimit(self, which: int) -> object:
+        """Returns ``(soft, hard)``, or -1 with errno set.  rlimits are
+        persona-independent state (one process, one limit set)."""
+        return self._bsd(xnu.SYS_getrlimit, which)
+
+    def setrlimit(
+        self, which: int, soft: int, hard: Optional[int] = None
+    ) -> int:
+        return self._bsd(xnu.SYS_setrlimit, which, soft, hard)
+
     # -- signals (XNU numbering at this API) ---------------------------------------------
 
     def signal(self, xnu_signum: int, handler: object) -> object:

@@ -256,6 +256,22 @@ class UIApplication:
         self.window = UIWindow(0, 0, width, height, background=".")
         self.keyboard: Optional[UIView] = None
         self._terminated = False
+        self.memory_warnings = 0
+        # UIKit apps start in the foreground jetsam band and subscribe to
+        # kernel memory-pressure notifications: when jetsam runs an
+        # episode the app hears ``didReceiveMemoryWarning`` *before* the
+        # kill phase and can shed caches to survive.
+        from ..kernel.pressure import JETSAM_PRIORITY_FOREGROUND
+
+        ctx.process.jetsam_priority = JETSAM_PRIORITY_FOREGROUND
+        ctx.kernel.memory_pressure_listeners[ctx.process.pid] = (
+            self._memory_warning
+        )
+
+    def _memory_warning(self, level: str) -> None:
+        """Kernel pressure callback → ``didReceiveMemoryWarning``."""
+        self.memory_warnings += 1
+        self.dispatch_lifecycle("memory_warning")
 
     def _display_dims(self) -> tuple:
         display = self.ctx.machine.display
@@ -336,12 +352,21 @@ class UIApplication:
 
     def dispatch_lifecycle(self, action: str) -> None:
         self.events_handled += 1
+        from ..kernel.pressure import (
+            JETSAM_PRIORITY_BACKGROUND,
+            JETSAM_PRIORITY_FOREGROUND,
+        )
+
         if action == "pause":
             self.state = "background"
+            self.ctx.process.jetsam_priority = JETSAM_PRIORITY_BACKGROUND
             hook = getattr(self.delegate, "on_pause", None)
         elif action == "resume":
             self.state = "active"
+            self.ctx.process.jetsam_priority = JETSAM_PRIORITY_FOREGROUND
             hook = getattr(self.delegate, "on_resume", None)
+        elif action == "memory_warning":
+            hook = getattr(self.delegate, "did_receive_memory_warning", None)
         elif action == "terminate":
             self._terminated = True
             hook = getattr(self.delegate, "will_terminate", None)

@@ -18,7 +18,7 @@ mechanisms.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..persona import Persona, PersonaRegistry, UnknownPersonaError
 from ..sim import WaitQueue
@@ -33,6 +33,7 @@ from .files import (
     O_CREAT,
     O_EXCL,
     RegularHandle,
+    fd_alloc,
 )
 from .loader import BinfmtHandler, LoaderChain, StartRoutine
 from .process import KThread, Process, ProcessExited, ProcessManager, UserContext
@@ -77,6 +78,15 @@ class Kernel:
         self.signal_translator: Optional[object] = None
         #: Tombstones written by crash containment (see :mod:`.crash`).
         self.crash_reports: List[CrashReport] = []
+        #: pid -> callback(level): processes that asked to hear about
+        #: memory pressure *before* the kill daemons pick victims (UIKit
+        #: registers ``didReceiveMemoryWarning`` delivery here).  Entries
+        #: are dropped automatically when their process is finalized.
+        self.memory_pressure_listeners: Dict[int, Callable[[str], None]] = {}
+        #: Kernel-side cache evictors run by jetsam between the warning
+        #: phase and the kill phase (dyld registers shared-cache
+        #: eviction).  Each returns the number of bytes it released.
+        self.pressure_evictors: List[Callable[[], int]] = []
         #: When True, abnormal process death (escaped SyscallError, Python
         #: oops, fatal signal, watchdog kill) is *contained*: the process
         #: is torn down with a tombstone and the rest of the machine keeps
@@ -483,7 +493,7 @@ class Kernel:
             handle = RegularHandle(machine, node, flags)
         else:
             raise SyscallError(EINVAL, f"unopenable node {node.kind}")
-        return process.fd_table.install(handle)
+        return fd_alloc(process, handle)
 
     # -- exec ---------------------------------------------------------------------------
 
@@ -519,6 +529,16 @@ class Kernel:
     ) -> object:
         """A kernel-level service thread (no process context)."""
         return self.machine.spawn(body, name=f"k:{name}", daemon=True)
+
+    def start_pressure_daemons(self) -> tuple:
+        """Spawn jetsam + lowmemorykiller (see :mod:`.pressure`).
+
+        Requires an installed resource envelope; both daemons sleep until
+        the envelope reports pressure, so the zero-pressure fast path
+        never runs them."""
+        from .pressure import start_pressure_daemons
+
+        return start_pressure_daemons(self)
 
     def run(self) -> None:
         self.machine.run()

@@ -7,6 +7,15 @@ hinge on: an iOS process whose dyld mapped 90 MB across 115 libraries pays
 for duplicating every page-table entry on fork (~1 ms of the 3.75 ms
 fork+exit time, §6.2), while regions backed by the dyld shared cache are a
 shared submap on XNU and are not copied per-process.
+
+Resource accounting: when the machine carries a
+:class:`~repro.sim.resources.ResourceEnvelope`, every :meth:`map` /
+:meth:`fork_copy` charges the machine-wide RAM budget (shared-cache
+regions are charged once, refcounted) and every :meth:`unmap` /
+:meth:`unmap_all` releases it — this is what lets jetsam and the
+lowmemorykiller observe real scarcity.  Per-process ``RLIMIT_AS`` is
+enforced here too.  Both checks cost one ``is None`` test when off and
+never charge virtual time.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from .errno import ENOMEM, SyscallError
 
 if TYPE_CHECKING:
     from ..hw.machine import Machine
+    from ..sim.resources import ResourceEnvelope
 
 PAGE_SIZE = 4096
 
@@ -39,6 +49,11 @@ class VMA:
         #: Backed by the dyld shared cache: lives in a kernel-shared
         #: submap, so fork does not duplicate its page tables.
         self.shared_cache = shared_cache
+        #: Resource-envelope bookkeeping: True when these bytes were
+        #: charged to the machine RAM budget; for shared-cache regions the
+        #: refcounted reservation key instead.
+        self.charged = False
+        self.shared_key: Optional[str] = None
 
     @property
     def pages(self) -> int:
@@ -53,13 +68,22 @@ class AddressSpace:
     """The set of VMAs belonging to one process.
 
     ``machine`` is optional (tests build bare address spaces); when
-    present, :meth:`map` is an ``mm.map`` fault-injection point so seeded
-    plans can simulate transient allocation failure (ENOMEM).
+    present, :meth:`map` is an ``mm.map`` / ``mm.reserve`` fault-injection
+    point so seeded plans can simulate transient allocation failure and
+    forced scarcity verdicts (ENOMEM), and the machine's resource
+    envelope — when installed — is charged for every mapping.
     """
 
     def __init__(self, machine: Optional["Machine"] = None) -> None:
         self._vmas: List[VMA] = []
         self._machine = machine
+        #: RLIMIT_AS soft limit in bytes (None = unlimited); kept in sync
+        #: by the setrlimit trap.
+        self.as_limit_bytes: Optional[int] = None
+
+    def _envelope(self) -> Optional["ResourceEnvelope"]:
+        machine = self._machine
+        return machine.resources if machine is not None else None
 
     def map(
         self,
@@ -85,15 +109,74 @@ class AddressSpace:
                     raise SyscallError(
                         ENOMEM, f"fault injected: map {name!r}"
                     )
+            # Forced scarcity verdict: behaves exactly like an exhausted
+            # RAM budget, without needing a full envelope.
+            outcome = machine.faults.check(
+                "mm.reserve", region=name, size_bytes=size_bytes
+            )
+            if outcome is not None:
+                if outcome.kind == "delay":
+                    machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+                elif outcome.kind == "errno":
+                    raise SyscallError(
+                        int(outcome.value),  # type: ignore[call-overload]
+                        f"fault injected: reserve {name!r}",
+                    )
+                else:
+                    raise SyscallError(
+                        ENOMEM, f"fault injected: reserve {name!r}"
+                    )
+        if (
+            self.as_limit_bytes is not None
+            and self.total_bytes + size_bytes > self.as_limit_bytes
+        ):
+            raise SyscallError(
+                ENOMEM, f"RLIMIT_AS: map {name!r} ({size_bytes} bytes)"
+            )
         vma = VMA(name, size_bytes, writable, shared_cache)
+        res = self._envelope()
+        if res is not None:
+            self._reserve(res, vma)
         self._vmas.append(vma)
         return vma
 
+    @staticmethod
+    def _reserve(res: "ResourceEnvelope", vma: VMA) -> None:
+        """Charge one VMA to the envelope, or raise ENOMEM."""
+        if vma.shared_cache:
+            if not res.reserve_shared(vma.name, vma.size_bytes):
+                raise SyscallError(
+                    ENOMEM, f"out of memory: map {vma.name!r}"
+                )
+            vma.shared_key = vma.name
+        else:
+            if not res.reserve_ram(vma.size_bytes, owner=vma.name):
+                raise SyscallError(
+                    ENOMEM, f"out of memory: map {vma.name!r}"
+                )
+            vma.charged = True
+
+    @staticmethod
+    def _release(res: "ResourceEnvelope", vma: VMA) -> None:
+        if vma.shared_key is not None:
+            res.release_shared(vma.shared_key)
+            vma.shared_key = None
+        elif vma.charged:
+            res.release_ram(vma.size_bytes)
+            vma.charged = False
+
     def unmap(self, vma: VMA) -> None:
         self._vmas.remove(vma)
+        res = self._envelope()
+        if res is not None:
+            self._release(res, vma)
 
     def unmap_all(self) -> None:
         """exec() tears down the old image."""
+        res = self._envelope()
+        if res is not None:
+            for vma in self._vmas:
+                self._release(res, vma)
         self._vmas.clear()
 
     def find(self, name: str) -> Optional[VMA]:
@@ -116,12 +199,30 @@ class AddressSpace:
         return sum(vma.pages for vma in self._vmas if not vma.shared_cache)
 
     def fork_copy(self) -> "AddressSpace":
-        """Duplicate the structure (the copy cost is charged by fork)."""
+        """Duplicate the structure (the copy cost is charged by fork).
+
+        With a resource envelope installed the child's private regions
+        charge the RAM budget (this is why 32 iOS personas cost ~2.9 GB in
+        the paper's accounting) and shared-cache regions only bump the
+        submap refcount; an exhausted budget makes fork fail with ENOMEM,
+        leaving the envelope balanced."""
         child = AddressSpace(self._machine)
-        child._vmas = [
-            VMA(v.name, v.size_bytes, v.writable, v.shared_cache)
-            for v in self._vmas
-        ]
+        child.as_limit_bytes = self.as_limit_bytes
+        res = self._envelope()
+        copied: List[VMA] = []
+        for v in self._vmas:
+            nv = VMA(v.name, v.size_bytes, v.writable, v.shared_cache)
+            if res is not None:
+                try:
+                    self._reserve(res, nv)
+                except SyscallError:
+                    for done in copied:
+                        self._release(res, done)
+                    raise SyscallError(
+                        ENOMEM, "out of memory: fork address space"
+                    ) from None
+            copied.append(nv)
+        child._vmas = copied
         return child
 
     def __iter__(self) -> Iterator[VMA]:

@@ -1,4 +1,11 @@
-"""Pipes: the substrate for lmbench's lat_pipe and the shell's plumbing."""
+"""Pipes: the substrate for lmbench's lat_pipe and the shell's plumbing.
+
+:func:`make_pipe` only builds the two endpoint objects; descriptor
+installation happens in the ``pipe`` syscall via
+:func:`repro.kernel.files.fd_alloc`, the single checked allocation path,
+so ``RLIMIT_NOFILE`` surfaces EMFILE here exactly as it does for opens
+and sockets.
+"""
 
 from __future__ import annotations
 

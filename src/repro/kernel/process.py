@@ -22,8 +22,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..sim import WaitQueue
+from ..sim.resources import RLIMIT_NPROC, Rlimits
 from ..persona import Persona, TLSArea
-from .errno import ECHILD, ENOEXEC, ESRCH, SyscallError
+from .errno import EAGAIN, ECHILD, ENOEXEC, ESRCH, SyscallError
 from .files import FDTable
 from .mm import AddressSpace
 from .signals import SIGABRT, SIGSEGV, SigInfo, SignalState, PendingSignals
@@ -89,6 +90,15 @@ class Process:
         self.libc_factory: Optional[Callable[["UserContext"], object]] = None
         self.dying: Optional[int] = None  # fatal signal in flight
         self.mach_task: Optional[object] = None  # set by duct-taped Mach IPC
+        #: POSIX resource limits (RLIMIT_AS / RLIMIT_NOFILE / RLIMIT_NPROC),
+        #: inherited across fork/spawn via the getrlimit/setrlimit traps.
+        self.rlimits = Rlimits()
+        #: XNU jetsam priority band (higher = more important; processes in
+        #: the SYSTEM band are never killed).  See repro.kernel.pressure.
+        self.jetsam_priority = 3  # JETSAM_PRIORITY_DEFAULT
+        #: Android lowmemorykiller badness (higher = killed first;
+        #: negative = system, never killed).
+        self.oom_adj = 0
 
     # -- state helpers ----------------------------------------------------------
 
@@ -424,6 +434,7 @@ class ProcessManager:
         machine = kernel.machine
         parent = thread.process
 
+        self._check_nproc(parent)
         machine.charge("fork_base")
         pages = parent.address_space.copied_on_fork_pages
         if pages:
@@ -442,6 +453,9 @@ class ProcessManager:
         child.loaded_libraries = dict(parent.loaded_libraries)
         child.lib_state = parent.fork_lib_state()
         child.libc_factory = parent.libc_factory
+        child.rlimits = parent.rlimits.fork_copy()
+        child.jetsam_priority = parent.jetsam_priority
+        child.oom_adj = parent.oom_adj
         self.table[child.pid] = child
         parent.children.append(child)
 
@@ -480,13 +494,17 @@ class ProcessManager:
         """posix_spawn: built from clone+exec (paper §4.1) — a fresh child
         that immediately execs, without copying the parent's image."""
         kernel = self.kernel
-        kernel.machine.charge("fork_base")  # the clone part (no page copy)
         parent = thread.process
+        self._check_nproc(parent)
+        kernel.machine.charge("fork_base")  # the clone part (no page copy)
         child = self.create_process(
             path.rsplit("/", 1)[-1], ppid=parent.pid, persona=thread.persona
         )
         child.fd_table = parent.fd_table.fork_copy()
         child.cwd = parent.cwd
+        child.rlimits = parent.rlimits.fork_copy()
+        child.jetsam_priority = parent.jetsam_priority
+        child.oom_adj = parent.oom_adj
         child_thread = child.main_thread()
         argv_list = list(argv or [path])
 
@@ -501,6 +519,15 @@ class ProcessManager:
         self.attach_sim_thread(child_thread, body, daemon=daemon)
         return child.pid
 
+    def _check_nproc(self, parent: Process) -> None:
+        """RLIMIT_NPROC: forks/spawns fail with EAGAIN once the live
+        process count reaches the limit (no-cost when unlimited)."""
+        limit = parent.rlimits.soft(RLIMIT_NPROC)
+        if limit is not None and len(self.live_processes()) >= limit:
+            raise SyscallError(
+                EAGAIN, f"RLIMIT_NPROC: {limit} processes already live"
+            )
+
     # -- exit / wait --------------------------------------------------------------
 
     def finalize_process(self, process: Process, code: int) -> None:
@@ -512,6 +539,8 @@ class ProcessManager:
         process.exit_code = code
         process.fd_table.close_all()
         process.address_space.unmap_all()
+        # Dead processes stop listening for memory-pressure warnings.
+        self.kernel.memory_pressure_listeners.pop(process.pid, None)
         # Mach IPC teardown: the task's receive rights die, so peers
         # blocked on its ports observe dead names instead of hanging.
         mach = self.kernel.mach_subsystem

@@ -12,8 +12,17 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..persona.abi import DispatchTable, KernelABI
+from ..sim.resources import RLIMIT_AS, RLIMIT_NOFILE
 from .errno import EINVAL, ENOTTY, ESRCH, SyscallError
-from .files import DeviceHandle, DirectoryHandle, O_CREAT, O_EXCL, OpenFile
+from .files import (
+    DeviceHandle,
+    DirectoryHandle,
+    FDTable,
+    O_CREAT,
+    O_EXCL,
+    OpenFile,
+    fd_alloc,
+)
 from .pipes import make_pipe
 from .select import do_select
 from .signals import SigAction
@@ -42,6 +51,8 @@ NR_dup = 41
 NR_pipe = 42
 NR_ioctl = 54
 NR_dup2 = 63
+NR_setrlimit = 75
+NR_getrlimit = 76
 NR_getppid = 64
 NR_sigaction = 67
 NR_getdents = 141
@@ -160,8 +171,16 @@ def sys_dup2(kernel: "Kernel", thread: "KThread", fd: int, newfd: int):
 
 def sys_pipe(kernel: "Kernel", thread: "KThread"):
     reader, writer = make_pipe(kernel.machine)
-    table = thread.process.fd_table
-    return table.install(reader), table.install(writer)
+    process = thread.process
+    rfd = fd_alloc(process, reader)
+    try:
+        wfd = fd_alloc(process, writer)
+    except SyscallError:
+        # Leave no half-created pipe behind when the table fills between
+        # the two descriptors (EMFILE rollback).
+        process.fd_table.close(rfd)
+        raise
+    return rfd, wfd
 
 
 def sys_ioctl(
@@ -254,7 +273,7 @@ def sys_clone(
 
 def sys_socket(kernel: "Kernel", thread: "KThread"):
     sock = UnixSocket(kernel.machine)
-    return thread.process.fd_table.install(sock)
+    return fd_alloc(thread.process, sock)
 
 
 def _sock_for(thread: "KThread", fd: int) -> UnixSocket:
@@ -278,13 +297,57 @@ def sys_connect(kernel: "Kernel", thread: "KThread", fd: int, path: str):
 
 def sys_accept(kernel: "Kernel", thread: "KThread", fd: int):
     peer = accept(kernel.machine, _sock_for(thread, fd))
-    return thread.process.fd_table.install(peer)
+    return fd_alloc(thread.process, peer)
 
 
 def sys_socketpair(kernel: "Kernel", thread: "KThread"):
     left, right = socketpair(kernel.machine)
-    table = thread.process.fd_table
-    return table.install(left), table.install(right)
+    process = thread.process
+    lfd = fd_alloc(process, left)
+    try:
+        rfd = fd_alloc(process, right)
+    except SyscallError:
+        process.fd_table.close(lfd)
+        raise
+    return lfd, rfd
+
+
+def sys_getrlimit(kernel: "Kernel", thread: "KThread", which: int):
+    """Returns ``(soft, hard)``; RLIM_INFINITY for unlimited."""
+    try:
+        return thread.process.rlimits.get(which)
+    except ValueError as exc:
+        raise SyscallError(EINVAL, str(exc)) from None
+
+
+def sys_setrlimit(
+    kernel: "Kernel",
+    thread: "KThread",
+    which: int,
+    soft: int,
+    hard: Optional[int] = None,
+):
+    """Set a limit and sync the kernel structures that enforce it.
+
+    ``RLIMIT_NOFILE`` lands in the fd table (enforced by
+    :func:`~repro.kernel.files.fd_alloc` on every descriptor mint),
+    ``RLIMIT_AS`` in the address space (enforced by
+    :meth:`~repro.kernel.mm.AddressSpace.map`), ``RLIMIT_NPROC`` is read
+    at fork/posix_spawn time.
+    """
+    process = thread.process
+    try:
+        process.rlimits.set(which, soft, hard)
+    except ValueError as exc:
+        raise SyscallError(EINVAL, str(exc)) from None
+    if which == RLIMIT_NOFILE:
+        limit = process.rlimits.soft(RLIMIT_NOFILE)
+        process.fd_table.nofile_limit = (
+            FDTable.MAX_FDS if limit is None else min(limit, FDTable.MAX_FDS)
+        )
+    elif which == RLIMIT_AS:
+        process.address_space.as_limit_bytes = process.rlimits.soft(RLIMIT_AS)
+    return 0
 
 
 def sys_set_persona(kernel: "Kernel", thread: "KThread", persona_name: str):
@@ -312,6 +375,8 @@ def _register_all(table: DispatchTable) -> None:
     table.register(NR_pipe, "pipe", sys_pipe)
     table.register(NR_ioctl, "ioctl", sys_ioctl)
     table.register(NR_dup2, "dup2", sys_dup2)
+    table.register(NR_setrlimit, "setrlimit", sys_setrlimit)
+    table.register(NR_getrlimit, "getrlimit", sys_getrlimit)
     table.register(NR_getppid, "getppid", sys_getppid)
     table.register(NR_sigaction, "sigaction", sys_sigaction)
     table.register(NR_getdents, "getdents", sys_getdents)

@@ -4,6 +4,11 @@ Used by lmbench's lat_unix and — centrally for Cider — by the channel
 between the *CiderPress* proxy app and the *eventpump* thread inside each
 iOS app (paper §5.2): CiderPress forwards Android input events over a BSD
 socket, and the eventpump republishes them as Mach IPC messages.
+
+This module builds socket objects only; every descriptor they become —
+``socket``, ``accept``, ``socketpair`` — is minted through
+:func:`repro.kernel.files.fd_alloc`, the single checked allocation path
+where ``RLIMIT_NOFILE`` surfaces EMFILE.
 """
 
 from __future__ import annotations

@@ -79,6 +79,10 @@ class RegularFile(Inode):
         super().__init__()
         self.data = bytearray(data)
         self.binary_image = binary_image
+        #: Bytes this inode holds against the machine's storage budget
+        #: (charged by :class:`~repro.kernel.files.RegularHandle` writes,
+        #: released on unlink/O_TRUNC).
+        self.storage_reserved = 0
 
     @property
     def size_bytes(self) -> int:
@@ -259,6 +263,12 @@ class VFS:
             raise SyscallError(EISDIR, path)
         self._machine.charge("file_unlink")
         parent.unlink(name)
+        reserved = getattr(target, "storage_reserved", 0)
+        if reserved:
+            res = self._machine.resources
+            if res is not None:
+                res.release_storage(reserved)
+            target.storage_reserved = 0  # type: ignore[attr-defined]
 
     def rmdir(self, path: str, cwd: Optional[Directory] = None) -> None:
         parent, name = self.resolve_parent(path, cwd)

@@ -31,6 +31,19 @@ from .faults import (
     FaultRule,
     chaos_plan,
 )
+from .resources import (
+    PRESSURE_CRITICAL,
+    PRESSURE_NORMAL,
+    PRESSURE_WARNING,
+    RESOURCE_CATEGORY,
+    RLIM_INFINITY,
+    RLIMIT_AS,
+    RLIMIT_NOFILE,
+    RLIMIT_NPROC,
+    KillEvent,
+    ResourceEnvelope,
+    Rlimits,
+)
 from .scheduler import Scheduler, SimThread, ThreadState, WaitQueue
 from .trace import Trace, TraceEvent
 
@@ -57,6 +70,17 @@ __all__ = [
     "SimulationError",
     "ThreadKilled",
     "TraceDisabledError",
+    "PRESSURE_CRITICAL",
+    "PRESSURE_NORMAL",
+    "PRESSURE_WARNING",
+    "RESOURCE_CATEGORY",
+    "RLIM_INFINITY",
+    "RLIMIT_AS",
+    "RLIMIT_NOFILE",
+    "RLIMIT_NPROC",
+    "KillEvent",
+    "ResourceEnvelope",
+    "Rlimits",
     "Scheduler",
     "SimThread",
     "ThreadState",

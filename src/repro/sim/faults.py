@@ -51,6 +51,9 @@ INJECTION_POINTS = (
     "vfs.open",        # Kernel.open_path
     "vfs.lookup",      # VFS.resolve
     "mm.map",          # AddressSpace.map (page allocation)
+    "mm.reserve",      # AddressSpace.map, forced RAM-budget scarcity
+    "vfs.write",       # RegularHandle.write, forced ENOSPC scarcity
+    "ipc.qfull",       # MachIPC send with a full queue (backpressure)
 )
 
 # -- outcomes -------------------------------------------------------------------

@@ -28,6 +28,9 @@ FAULT_CATEGORY = "fault"
 CRASH_CATEGORY = "crash"
 #: Category for scheduler-watchdog ANR reports.
 WATCHDOG_CATEGORY = "watchdog"
+#: Category for resource-envelope events: pressure-level transitions,
+#: exhaustion verdicts, and pressure-daemon kills (repro.sim.resources).
+RESOURCE_CATEGORY = "resource"
 
 
 @dataclass(frozen=True)

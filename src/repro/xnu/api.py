@@ -137,6 +137,24 @@ class XNUKernelAPI:
 
         return NULL_SPAN
 
+    # -- resource/pressure hooks --------------------------------------------------------
+
+    def metric(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter in the host's metrics registry (the
+        foreign analogue of XNU's ``ledger`` entries).  The default
+        environment discards it; duct-tape environments bind it to the
+        machine's observatory.  Foreign code may call it unconditionally
+        — no observatory costs one test and no virtual time."""
+        return None
+
+    def pressure_level(self) -> str:
+        """The host machine's memory-pressure level (``"normal"`` /
+        ``"warning"`` / ``"critical"``).  Foreign code uses it for
+        graceful degradation (Mach IPC bounds full-queue sends under
+        critical pressure instead of blocking forever).  The default
+        environment reports ``"normal"``."""
+        return "normal"
+
     # -- fault injection hook -----------------------------------------------------------
 
     #: True while the host machine has a fault plan installed.  Foreign

@@ -60,6 +60,12 @@ MACH_MSG_TYPE_MAKE_SEND_ONCE = 21
 MACH_PORT_QLIMIT_DEFAULT = 5
 MACH_PORT_QLIMIT_LARGE = 1024
 
+#: Backpressure bound: under *critical* memory pressure an untimed send
+#: to a full queue does not block forever — it waits at most this long
+#: and then surfaces MACH_SEND_TIMED_OUT, so message queues stop growing
+#: the moment jetsam is hunting (graceful degradation, not deadlock).
+QFULL_BACKPRESSURE_TIMEOUT_NS = 10_000_000  # 10 ms virtual
+
 
 class MachMessage:
     """One mach_msg, header plus body.
@@ -431,8 +437,27 @@ class MachIPC:
         while len(port.messages) >= port.qlimit:
             if port.dead:
                 return MACH_SEND_INVALID_DEST
+            # Queue-full backpressure is observable (a ledger-style
+            # counter) and fault-injectable (``ipc.qfull``).
+            self.xnu.metric("xnu.ipc.qfull")
+            if self.xnu.fault_active:
+                code = self._fault_code(
+                    "ipc.qfull", MACH_SEND_TIMED_OUT,
+                    dest=dest_name, msg_id=msg.msg_id,
+                )
+                if code is not None:
+                    return code
             if timeout_ns is not None:
                 if not self.xnu.thread_block_timeout(port.send_event, timeout_ns):
+                    self.xnu.metric("xnu.ipc.send.timed_out")
+                    return MACH_SEND_TIMED_OUT
+            elif self.xnu.pressure_level() == "critical":
+                # Under critical memory pressure untimed sends become
+                # bounded: the queue must not grow while jetsam works.
+                if not self.xnu.thread_block_timeout(
+                    port.send_event, QFULL_BACKPRESSURE_TIMEOUT_NS
+                ):
+                    self.xnu.metric("xnu.ipc.send.timed_out")
                     return MACH_SEND_TIMED_OUT
             else:
                 self.xnu.thread_block(port.send_event)

@@ -407,6 +407,74 @@ class TestSpanClosureUnderFaults:
             system.shutdown()
 
 
+class TestSpanClosureUnderPressure:
+    def test_jetsam_kill_mid_receive_closes_spans(self):
+        """jetsam reaping a process parked deep inside a mach receive must
+        unwind every one of its open spans; picosecond conservation stays
+        exact across the kill."""
+        from repro.binfmt import elf_executable, macho_executable
+        from repro.sim import ResourceEnvelope
+
+        system = build_cider()
+        try:
+            obs = system.machine.install_observatory()
+            system.machine.install_resources(ResourceEnvelope(ram_mb=512))
+            kernel = system.kernel
+            kernel.start_pressure_daemons()
+
+            def victim_body(ctx, argv):
+                ctx.process.address_space.map(
+                    "cache", 64 << 20, writable=True
+                )
+                _kr, name = ctx.libc.mach_port_allocate()
+                ctx.libc.mach_msg_receive(name)  # parks forever
+                return 0
+
+            kernel.vfs.install_binary(
+                "/bin/victim", macho_executable("victim", victim_body)
+            )
+            kernel.start_process("/bin/victim", name="victim", daemon=True)
+
+            def hog_body(ctx, argv):
+                from repro.kernel.errno import SyscallError
+
+                chunks = 0
+                while True:
+                    try:
+                        ctx.process.address_space.map(
+                            f"hog_{chunks}", 8 << 20, writable=True
+                        )
+                    except SyscallError:
+                        break
+                    chunks += 1
+                for _ in range(4):
+                    ctx.libc.nanosleep(1_000_000.0)
+                return chunks
+
+            kernel.vfs.install_binary(
+                "/system/bin/hog", elf_executable("hog", hog_body)
+            )
+            hog = kernel.start_process("/system/bin/hog", name="hog")
+            system.wait_for(hog)
+
+            envelope = system.machine.resources
+            assert [e.name for e in envelope.kills_by("jetsam")] == [
+                "victim"
+            ]
+            # Live daemons legitimately park inside receive spans; nothing
+            # belonging to the killed process may remain open.
+            victim_spans = [
+                s for s in obs.profiler.open_spans()
+                if "victim" in s.thread_name
+            ]
+            assert victim_spans == []
+            # Every charged picosecond — including those spent inside the
+            # aborted receive — is still attributed exactly once.
+            assert obs.profiler.conservation_check()
+        finally:
+            system.shutdown()
+
+
 # ---------------------------------------------------------------------------
 # Span-event ring buffer + reports.
 # ---------------------------------------------------------------------------
