@@ -131,8 +131,18 @@ def enable_cider(
     fence_bug: bool = True,
     shared_cache: bool = False,
     start_services: bool = True,
+    dcache: bool = False,
+    launch_closures: bool = False,
+    cow_fork: bool = False,
 ) -> IOSRuntime:
-    """Turn the system's Linux kernel into a Cider kernel."""
+    """Turn the system's Linux kernel into a Cider kernel.
+
+    ``dcache``, ``launch_closures`` and ``cow_fork`` are the warm-path
+    ablations (DESIGN.md §9): each changes the *virtual-time* cost of
+    repeated lookups / launches / forks and therefore defaults to off so
+    that the default configuration reproduces the paper's cold-path
+    numbers bit-identically.
+    """
     kernel = system.kernel
     machine = system.machine
     kernel.name = "cider"
@@ -140,7 +150,14 @@ def enable_cider(
     kernel.cider_config = {
         "fence_bug": fence_bug,
         "shared_cache": shared_cache,
+        "dcache": dcache,
+        "launch_closures": launch_closures,
+        "cow_fork": cow_fork,
     }
+    if dcache:
+        kernel.vfs.enable_dcache(kernel)
+    if cow_fork:
+        kernel.cow_fork = True
 
     # Foreign persona: XNU ABI (translated) + iOS TLS layout.
     ios_abi = XNUABI(native=False)
@@ -153,7 +170,8 @@ def enable_cider(
     install_iokit_linux_glue(kernel, kernel.iokit, kernel.cxx_runtime)
 
     # Mach-O loading: kernel loader + user-space dyld.
-    dyld = Dyld(use_shared_cache=shared_cache)
+    dyld = Dyld(use_shared_cache=shared_cache, use_closures=launch_closures)
+    kernel.dyld = dyld  # evict_shared_cache invalidates closures through this
     kernel.register_loader(MachOLoader(IOSLibc, dyld))
 
     # Display service (SurfaceFlinger owns the panel on Android).
@@ -214,6 +232,7 @@ def enable_xnu_native(
     install_apple_graphics_services(kernel, kernel.iokit, kernel.cxx_runtime)
 
     dyld = Dyld(use_shared_cache=machine.profile.has_quirk("dyld_shared_cache"))
+    kernel.dyld = dyld  # evict_shared_cache invalidates closures through this
     kernel.register_loader(MachOLoader(IOSLibc, dyld))
 
     # backboardd/SpringBoard composites the display on iOS; the generic

@@ -104,17 +104,31 @@ def build_cider(
     with_framework: bool = False,
     fence_bug: bool = True,
     shared_cache: bool = False,
+    dcache: bool = False,
+    launch_closures: bool = False,
+    cow_fork: bool = False,
 ) -> System:
     """Configurations 2 and 3: the Cider kernel on the Nexus 7.
 
     ``fence_bug`` keeps the prototype's broken GLES fence primitive
     (paper §6.3); ``shared_cache`` enables the dyld shared cache the
-    prototype lacked (paper future work) — both are ablation toggles.
+    prototype lacked (paper future work).  ``dcache`` (VFS dentry cache),
+    ``launch_closures`` (dyld launch closures) and ``cow_fork``
+    (copy-on-write fork) are the warm-path ablations of DESIGN.md §9 —
+    all toggles default to off so the default configuration reproduces
+    the paper's measured prototype.
     """
     system = _boot_linux_kernel(profile or nexus7(), "cider")
     from .enable import enable_cider
 
-    enable_cider(system, fence_bug=fence_bug, shared_cache=shared_cache)
+    enable_cider(
+        system,
+        fence_bug=fence_bug,
+        shared_cache=shared_cache,
+        dcache=dcache,
+        launch_closures=launch_closures,
+        cow_fork=cow_fork,
+    )
     if with_framework:
         from ..android.framework import boot_android_framework
 

@@ -42,6 +42,12 @@ class Machine:
         # Watchdog/ANR events from the scheduler land in the trace.
         self.scheduler.trace_hook = self.emit
         self.costs: CostModel = profile.cost_model
+        #: The cost table resolved to integer picoseconds once at boot
+        #: (``CostModel`` is immutable).  ``charge``'s ``times == 1`` fast
+        #: path — the overwhelming majority of calls — skips the per-call
+        #: float multiply and rounding entirely; the bit-identity contract
+        #: is ``charge_ps(ns_to_ps(x)) == charge(x)`` (see VirtualClock).
+        self._cost_ps = self.costs.compile_ps()
         self.random = random.Random(profile.seed)
         #: Deterministic fault injection: None on the zero-fault fast path
         #: (every injection point pays exactly one boolean test); install
@@ -67,8 +73,52 @@ class Machine:
     # -- time accounting ----------------------------------------------------
 
     def charge(self, cost_name: str, times: float = 1) -> None:
-        """Charge ``times`` occurrences of a named cost to the clock."""
-        self.clock.charge(self.costs[cost_name] * times)
+        """Charge ``times`` occurrences of a named cost to the clock.
+
+        ``times == 1`` (the hot case) uses the precompiled integer-ps
+        table — identical advancement to the float path, cheaper.  Any
+        other multiplier keeps the historical semantics exactly: one
+        rounding of the *product* ``cost * times``.
+        """
+        if times == 1:
+            try:
+                ps = self._cost_ps[cost_name]
+            except KeyError:
+                # Preserve CostModel's UnknownCostError message/semantics.
+                self.costs[cost_name]
+                raise  # pragma: no cover - costs[...] always raises first
+            self.clock.charge_ps(ps)
+        else:
+            self.clock.charge(self.costs[cost_name] * times)
+
+    def charge_many(self, *cost_names: str) -> None:
+        """Charge several named costs in one clock update.
+
+        Each component was already rounded to picoseconds individually at
+        boot (``compile_ps``), so the total equals N sequential
+        :meth:`charge` calls bit-for-bit while paying one clock update.
+        """
+        table = self._cost_ps
+        try:
+            total = sum(table[name] for name in cost_names)
+        except KeyError:
+            for name in cost_names:
+                self.costs[name]
+            raise  # pragma: no cover - costs[...] always raises first
+        self.clock.charge_ps(total)
+
+    def cost_ps(self, cost_name: str) -> int:
+        """The precompiled integer-picosecond value of a named cost.
+
+        Subsystems hoist their per-trap costs through this at registration
+        time (kernel trap entry/exit, persona checks, ABI dispatch) and
+        then charge via ``clock.charge_ps`` with zero per-call lookups.
+        """
+        try:
+            return self._cost_ps[cost_name]
+        except KeyError:
+            self.costs[cost_name]
+            raise  # pragma: no cover - costs[...] always raises first
 
     def charge_ns(self, ns: float) -> None:
         self.clock.charge(ns)

@@ -73,7 +73,39 @@ def evict_shared_cache(kernel: "object") -> int:
         machine.emit(
             "resource", "dyld_cache_evicted", unmapped=dropped, freed=freed
         )
+    # Cache generation moved on: every prebuilt launch closure was
+    # validated against the old generation and must be rebuilt.
+    dyld = getattr(kernel, "dyld", None)
+    if dyld is not None:
+        dyld.invalidate_closures()
     return freed
+
+
+class LaunchClosure:
+    """A dyld3-style prebuilt launch closure for one main image.
+
+    Records the fully resolved, ordered dependency closure so a repeat
+    exec of the same image skips the per-library filesystem walk: the
+    closure is validated against the cache generation (one stat + hash
+    check, ``dyld_closure_hit``) and then each image is replayed — map
+    plus a residual fix-up (``dyld_closure_lib_replay``) instead of
+    open-walk-link.
+    """
+
+    __slots__ = ("image", "generation", "entries", "cache_total_bytes")
+
+    def __init__(
+        self,
+        image: BinaryImage,
+        generation: int,
+        entries: List,
+        cache_total_bytes: int,
+    ) -> None:
+        self.image = image
+        self.generation = generation
+        #: Ordered ``(lib_image, from_cache)`` pairs.
+        self.entries = entries
+        self.cache_total_bytes = cache_total_bytes
 
 
 class SharedCache:
@@ -104,24 +136,42 @@ class DyldStats:
         self.libraries_loaded = 0
         self.from_cache = 0
         self.walked_filesystem = 0
+        self.from_closure = 0
+        self.closure_hit = False
         self.mapped_bytes = 0
 
     def __repr__(self) -> str:
         return (
             f"<DyldStats libs={self.libraries_loaded} cache={self.from_cache} "
-            f"mb={self.mapped_bytes >> 20}>"
+            f"closure={self.from_closure} mb={self.mapped_bytes >> 20}>"
         )
 
 
 class Dyld:
     """One dyld configuration shared by every Mach-O exec on a kernel."""
 
-    def __init__(self, use_shared_cache: bool = False) -> None:
+    def __init__(
+        self, use_shared_cache: bool = False, use_closures: bool = False
+    ) -> None:
         self.use_shared_cache = use_shared_cache
+        #: dyld3-style launch closures (warm-path ablation, off by
+        #: default — the Cider prototype re-walked the filesystem on
+        #: every exec, paper §6.2).
+        self.use_closures = use_closures
         self.last_stats: Optional[DyldStats] = None
         #: True once :func:`evict_shared_cache` is on the kernel's
         #: pressure-evictor list (registered on first cache map).
         self._evictor_registered = False
+        #: Shared-cache generation: closures prebuilt against an older
+        #: generation fail validation and are rebuilt.
+        self.cache_generation = 0
+        self._closures: Dict[str, LaunchClosure] = {}
+
+    def invalidate_closures(self) -> None:
+        """Drop every prebuilt closure and move the cache generation on
+        (called when the shared cache is evicted under pressure)."""
+        self.cache_generation += 1
+        self._closures.clear()
 
     # -- program startup ---------------------------------------------------------
 
@@ -163,6 +213,7 @@ class Dyld:
         obs.metrics.counter("ios.dyld.libs.loaded").inc(stats.libraries_loaded)
         obs.metrics.counter("ios.dyld.libs.walked").inc(stats.walked_filesystem)
         obs.metrics.counter("ios.dyld.libs.cached").inc(stats.from_cache)
+        obs.metrics.counter("ios.dyld.libs.closure").inc(stats.from_closure)
         obs.metrics.gauge("ios.dyld.mapped.bytes").set(stats.mapped_bytes)
         return stats
 
@@ -171,6 +222,14 @@ class Dyld:
     ) -> DyldStats:
         machine = ctx.machine
         process = ctx.process
+        if self.use_closures:
+            closure = self._closures.get(image.name)
+            if (
+                closure is not None
+                and closure.generation == self.cache_generation
+                and closure.image is image
+            ):
+                return self._replay_closure(ctx, closure)
         stats = DyldStats()
         cache = self._resolve_cache(ctx)
         cache_mapped = False
@@ -181,6 +240,7 @@ class Dyld:
         atfork = state.setdefault("atfork", [])
         atexit = state.setdefault("atexit", [])
         cache_images = 0
+        closure_entries: List = []
 
         while queue:
             dep = queue.pop(0)
@@ -210,6 +270,7 @@ class Dyld:
                 machine.charge("dyld_link_per_lib", 0.25)
                 stats.from_cache += 1
                 cache_images += 1
+                closure_entries.append((lib, True))
             else:
                 lib = self._walk_filesystem(ctx, dep)
                 machine.charge("dyld_lib_map_per_mb", lib.vm_size_mb)
@@ -221,6 +282,7 @@ class Dyld:
                 # callbacks.
                 atfork.append(f"atfork:{lib.name}")
                 atexit.append(f"atexit:{lib.name}")
+                closure_entries.append((lib, False))
 
             stats.libraries_loaded += 1
             process.loaded_libraries[lib.name] = lib
@@ -228,6 +290,64 @@ class Dyld:
             queue.extend(d for d in lib.deps if d not in loaded)
 
         # Batched handler registration for the prelinked images.
+        for batch in range(0, cache_images, CACHE_HANDLER_BATCH):
+            atfork.append(f"atfork:cache-batch-{batch}")
+            atexit.append(f"atexit:cache-batch-{batch}")
+        if self.use_closures:
+            self._closures[image.name] = LaunchClosure(
+                image,
+                self.cache_generation,
+                closure_entries,
+                cache.total_bytes if cache is not None else 0,
+            )
+        return stats
+
+    def _replay_closure(
+        self, ctx: "UserContext", closure: LaunchClosure
+    ) -> DyldStats:
+        """Warm exec: the image is already located and its link edits
+        prevalidated — validate the closure against the cache generation
+        (``dyld_closure_hit``) and replay each entry (map + residual
+        fix-up) instead of walking the filesystem per library."""
+        machine = ctx.machine
+        process = ctx.process
+        stats = DyldStats()
+        stats.closure_hit = True
+        machine.charge("dyld_closure_hit")
+        state = ctx.lib_state(LIBSYSTEM_STATE)
+        atfork = state.setdefault("atfork", [])
+        atexit = state.setdefault("atexit", [])
+        cache_mapped = False
+        cache_images = 0
+        for lib, from_cache in closure.entries:
+            if from_cache:
+                if not cache_mapped:
+                    # The cache submap must still be mapped per process.
+                    machine.charge("dyld_shared_cache_map")
+                    process.address_space.map(
+                        SHARED_CACHE_VMA,
+                        closure.cache_total_bytes,
+                        shared_cache=True,
+                    )
+                    stats.mapped_bytes += closure.cache_total_bytes
+                    cache_mapped = True
+                # No per-lib link charge: the closure *is* the
+                # prevalidated bind state for prelinked images — the
+                # single ``dyld_closure_hit`` validation covered it.
+                stats.from_cache += 1
+                stats.from_closure += 1
+                cache_images += 1
+            else:
+                machine.charge("dyld_lib_map_per_mb", lib.vm_size_mb)
+                machine.charge("dyld_closure_lib_replay")
+                process.address_space.map(f"dylib:{lib.name}", lib.vm_size_bytes)
+                stats.mapped_bytes += lib.vm_size_bytes
+                stats.from_closure += 1
+                atfork.append(f"atfork:{lib.name}")
+                atexit.append(f"atexit:{lib.name}")
+            stats.libraries_loaded += 1
+            process.loaded_libraries[lib.name] = lib
+            process.loaded_libraries[lib.install_name] = lib
         for batch in range(0, cache_images, CACHE_HANDLER_BATCH):
             atfork.append(f"atfork:cache-batch-{batch}")
             atexit.append(f"atexit:cache-batch-{batch}")

@@ -76,6 +76,10 @@ class Kernel:
         self.iokit: Optional[object] = None
         #: Installed by repro.compat.signals on Cider/XNU kernels.
         self.signal_translator: Optional[object] = None
+        #: The user-space dyld instance on Cider/XNU kernels; the
+        #: shared-cache pressure evictor invalidates launch closures
+        #: through this handle.
+        self.dyld: Optional[object] = None
         #: Tombstones written by crash containment (see :mod:`.crash`).
         self.crash_reports: List[CrashReport] = []
         #: pid -> callback(level): processes that asked to hear about
@@ -93,6 +97,22 @@ class Kernel:
         #: running.  Default False preserves the historical fail-fast
         #: behaviour that unit tests rely on (``run_program`` raises).
         self.contain_crashes = False
+        #: Copy-on-write fork ablation (off by default — the paper's §6.2
+        #: fork numbers were measured with eager PTE duplication): fork
+        #: charges ``cow_fork_per_page`` instead of ``fork_per_page`` and
+        #: each side pays per *touched* page on first write (mm.touch).
+        self.cow_fork = False
+        # Hot-path engine: the trap path's fixed costs resolved to integer
+        # picoseconds once at boot (each component rounded individually,
+        # so summed entry+persona-check advances the clock bit-identically
+        # to the two historical ``charge`` calls).  ``cider_enabled`` flips
+        # after construction (enable_cider), hence both entry variants.
+        self._entry_plain_ps = machine.cost_ps("syscall_entry")
+        self._entry_cider_ps = self._entry_plain_ps + machine.cost_ps(
+            "cider_persona_check"
+        )
+        self._exit_ps = machine.cost_ps("syscall_exit")
+        self._sig_persona_ps = machine.cost_ps("signal_persona_lookup")
         self.booted = False
 
     # -- boot -----------------------------------------------------------------
@@ -132,7 +152,40 @@ class Kernel:
         return device
 
     def register_persona(self, persona: Persona, default: bool = False) -> Persona:
+        self._prime_persona(persona)
         return self.personas.register(persona, default)
+
+    def _prime_persona(self, persona: Persona) -> dict:
+        """Flatten the persona's dispatch route into precomputed state.
+
+        Collapses the ABI's dispatch tables into one ``{trapno: handler}``
+        dict (trap numbers are disjoint across tables), resolves the ABI's
+        per-dispatch cost to integer picoseconds, and caches the trace
+        counter key — so the trap fast path does one dict probe instead of
+        a virtual dispatch + per-call dict build + string cost lookups.
+        Table mutations after priming (Cider registers ``set_persona``
+        into every table *post* registration) invalidate the flat cache
+        via :meth:`DispatchTable.subscribe`; the next trap re-primes.
+        """
+        abi = persona.abi
+        flat = {}
+        for table in abi.tables():
+            for number, handler in table.items():
+                flat[number] = handler
+        if not persona._subscribed:
+            def _invalidate(p=persona):
+                p._flat = None
+
+            for table in abi.tables():
+                table.subscribe(_invalidate)
+            persona._subscribed = True
+        cost_name = abi.dispatch_cost_name
+        persona._dispatch_ps = (
+            self.machine.cost_ps(cost_name) if cost_name else 0
+        )
+        persona._trace_key = ("syscall", abi.name)
+        persona._flat = flat
+        return flat
 
     def register_loader(self, handler: BinfmtHandler) -> None:
         self.loaders.register(handler)
@@ -170,12 +223,21 @@ class Kernel:
 
     def _trap_body(self, thread: KThread, trapno: int, args: tuple) -> object:
         machine = self.machine
-        machine.charge("syscall_entry")
-        if self.cider_enabled:
-            # Extra persona checking and handling code on every entry.
-            machine.charge("cider_persona_check")
-        abi = thread.persona.abi
-        machine.trace.emit(machine.clock.now_ns, "syscall", abi.name, nr=trapno)
+        clock = machine.clock
+        # Entry (+ the extra persona checking and handling code Cider runs
+        # on every entry) in one pre-summed, pre-rounded charge.
+        clock.charge_ps(
+            self._entry_cider_ps if self.cider_enabled else self._entry_plain_ps
+        )
+        persona = thread.persona
+        abi = persona.abi
+        trace = machine.trace
+        if trace.enabled:
+            trace.emit(clock.now_ns, "syscall", abi.name, nr=trapno)
+        else:
+            # Counter-only bump with the persona's cached key tuple: the
+            # disabled fast path allocates nothing.
+            trace.bump(persona._trace_key)
         if machine.faults is not None:
             outcome = machine.faults.check(
                 "syscall.enter", nr=trapno, abi=abi.name, pid=thread.process.pid
@@ -183,12 +245,24 @@ class Kernel:
             injected = self.apply_fault_errno(thread.process, outcome)
             if injected is not None:
                 result = abi.failure(injected)
-                machine.charge("syscall_exit")
+                clock.charge_ps(self._exit_ps)
                 self.deliver_pending_signals(thread)
                 self._check_dying(thread)
                 return result
         try:
-            value = abi.dispatch(self, thread, trapno, args)
+            flat = persona._flat
+            if flat is None:
+                flat = self._prime_persona(persona)
+            handler = flat.get(trapno)
+            if handler is not None:
+                dispatch_ps = persona._dispatch_ps
+                if dispatch_ps:
+                    clock.charge_ps(dispatch_ps)
+                value = handler(self, thread, *args)
+            else:
+                # Unknown number or bespoke ABI: the ABI's own dispatch
+                # charges its cost and raises the table-specific ENOSYS.
+                value = abi.dispatch(self, thread, trapno, args)
             result = abi.success(value)
         except SyscallError as error:
             result = abi.failure(error.errno)
@@ -201,7 +275,7 @@ class Kernel:
             injected = self.apply_fault_errno(thread.process, outcome)
             if injected is not None:
                 result = abi.failure(injected)
-        machine.charge("syscall_exit")
+        clock.charge_ps(self._exit_ps)
         self.deliver_pending_signals(thread)
         self._check_dying(thread)
         return result
@@ -371,8 +445,9 @@ class Kernel:
             return
         if self.cider_enabled:
             # Determining the persona of the target thread (paper: +3%
-            # on the signal benchmark even for Linux binaries).
-            self.machine.charge("signal_persona_lookup")
+            # on the signal benchmark even for Linux binaries) — cost
+            # pre-resolved to integer picoseconds at boot.
+            self.machine.clock.charge_ps(self._sig_persona_ps)
         action = process.signals.action_for(signum)
         handler = action.handler
         if signum == SIGKILL:

@@ -31,8 +31,44 @@ if TYPE_CHECKING:
 PAGE_SIZE = 4096
 
 
+class CowSource:
+    """The shared physical pages behind a family of COW mappings.
+
+    Created when :meth:`AddressSpace.fork_copy` runs in COW mode: the
+    parent's RAM reservation moves here and both parent and child VMAs
+    hold a reference — refcounted exactly like shared-cache segments, so
+    the underlying bytes are released only when the *last* mapping goes
+    (a parent exiting before its child must not free pages the child
+    still reads).
+    """
+
+    __slots__ = ("size_bytes", "refs", "charged")
+
+    def __init__(self, size_bytes: int, charged: bool) -> None:
+        self.size_bytes = size_bytes
+        self.refs = 0
+        #: True when ``size_bytes`` is held against the RAM budget.
+        self.charged = charged
+
+
 class VMA:
-    """One mapped virtual memory region."""
+    """One mapped virtual memory region.
+
+    ``__slots__``: dyld creates ~115 of these per Mach-O exec and fork
+    duplicates all of them — the hottest allocation after trace events.
+    """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "writable",
+        "shared_cache",
+        "charged",
+        "shared_key",
+        "cow_source",
+        "cow_broken",
+        "cow_charged_bytes",
+    )
 
     def __init__(
         self,
@@ -54,13 +90,28 @@ class VMA:
         #: refcounted reservation key instead.
         self.charged = False
         self.shared_key: Optional[str] = None
+        #: COW: the shared page source this mapping references (None for
+        #: eagerly copied/private regions) and the page indices privately
+        #: re-copied after a write fault (each holds one page of RAM).
+        self.cow_source: Optional[CowSource] = None
+        self.cow_broken: Optional[set] = None
+        #: Bytes charged to the RAM budget by COW breaks on this mapping
+        #: (one page per break); released with the mapping.
+        self.cow_charged_bytes = 0
 
     @property
     def pages(self) -> int:
         return (self.size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
 
+    @property
+    def cow_broken_bytes(self) -> int:
+        """Bytes privately held by COW-broken pages of this mapping."""
+        return len(self.cow_broken) * PAGE_SIZE if self.cow_broken else 0
+
     def __repr__(self) -> str:
         tag = " shared-cache" if self.shared_cache else ""
+        if self.cow_source is not None:
+            tag += f" cow({len(self.cow_broken or ())} broken)"
         return f"<VMA {self.name!r} {self.size_bytes >> 10}KB{tag}>"
 
 
@@ -164,19 +215,42 @@ class AddressSpace:
         elif vma.charged:
             res.release_ram(vma.size_bytes)
             vma.charged = False
+        if vma.cow_charged_bytes:
+            res.release_ram(vma.cow_charged_bytes)
+            vma.cow_charged_bytes = 0
+
+    @staticmethod
+    def _drop_cow_ref(res: Optional["ResourceEnvelope"], vma: VMA) -> None:
+        """Release this mapping's reference on its COW page source.
+
+        The source's reservation is freed only when the *last* referencing
+        mapping goes away — a parent exiting before its child must not free
+        pages the child still reads.
+        """
+        source = vma.cow_source
+        if source is None:
+            return
+        vma.cow_source = None
+        source.refs -= 1
+        if source.refs == 0 and source.charged:
+            if res is not None:
+                res.release_ram(source.size_bytes)
+            source.charged = False
 
     def unmap(self, vma: VMA) -> None:
         self._vmas.remove(vma)
         res = self._envelope()
         if res is not None:
             self._release(res, vma)
+        self._drop_cow_ref(res, vma)
 
     def unmap_all(self) -> None:
         """exec() tears down the old image."""
         res = self._envelope()
-        if res is not None:
-            for vma in self._vmas:
+        for vma in self._vmas:
+            if res is not None:
                 self._release(res, vma)
+            self._drop_cow_ref(res, vma)
         self._vmas.clear()
 
     def find(self, name: str) -> Optional[VMA]:
@@ -198,32 +272,112 @@ class AddressSpace:
         """Pages whose PTEs fork must duplicate (shared cache excluded)."""
         return sum(vma.pages for vma in self._vmas if not vma.shared_cache)
 
-    def fork_copy(self) -> "AddressSpace":
+    def fork_copy(self, cow: bool = False) -> "AddressSpace":
         """Duplicate the structure (the copy cost is charged by fork).
 
-        With a resource envelope installed the child's private regions
-        charge the RAM budget (this is why 32 iOS personas cost ~2.9 GB in
-        the paper's accounting) and shared-cache regions only bump the
-        submap refcount; an exhausted budget makes fork fail with ENOMEM,
-        leaving the envelope balanced."""
+        Eager mode (``cow=False``): with a resource envelope installed the
+        child's private regions charge the RAM budget (this is why 32 iOS
+        personas cost ~2.9 GB in the paper's accounting) and shared-cache
+        regions only bump the submap refcount; an exhausted budget makes
+        fork fail with ENOMEM, leaving the envelope balanced.
+
+        COW mode (``cow=True``): private regions are not duplicated — the
+        parent's reservation moves into a refcounted :class:`CowSource`
+        that both sides reference, and the child charges *nothing* at fork
+        time.  Each side pays one page of RAM (and ``cow_break_per_page``
+        of time) per page it later writes, via :meth:`touch`.  Shared-cache
+        regions behave identically in both modes.
+        """
         child = AddressSpace(self._machine)
         child.as_limit_bytes = self.as_limit_bytes
         res = self._envelope()
         copied: List[VMA] = []
         for v in self._vmas:
             nv = VMA(v.name, v.size_bytes, v.writable, v.shared_cache)
-            if res is not None:
+            if cow and not v.shared_cache:
+                source = v.cow_source
+                if source is None:
+                    # First COW fork of this region: the parent's eager
+                    # reservation (if any) moves into the shared source.
+                    source = CowSource(v.size_bytes, charged=v.charged)
+                    source.refs = 1
+                    v.cow_source = source
+                    v.charged = False
+                    if v.cow_broken is None:
+                        v.cow_broken = set()
+                source.refs += 1
+                nv.cow_source = source
+                nv.cow_broken = set()
+            elif res is not None:
                 try:
                     self._reserve(res, nv)
                 except SyscallError:
                     for done in copied:
-                        self._release(res, done)
+                        if done.cow_source is not None:
+                            # Undo the refcount bump; the source stays
+                            # charged (the parent still references it).
+                            done.cow_source.refs -= 1
+                        else:
+                            self._release(res, done)
                     raise SyscallError(
                         ENOMEM, "out of memory: fork address space"
                     ) from None
             copied.append(nv)
         child._vmas = copied
         return child
+
+    def touch(self, vma: VMA, page_index: int = 0) -> bool:
+        """Simulate the first write to one page of a COW mapping.
+
+        Returns True when the write broke COW for the page (charging one
+        page of RAM to the envelope and ``cow_break_per_page`` of virtual
+        time); False when the mapping is not COW or the page was already
+        broken.  Raises ENOMEM — leaving the envelope balanced — when the
+        RAM budget cannot cover the private page copy.
+        """
+        if vma.cow_source is None or vma.cow_broken is None:
+            return False
+        if not 0 <= page_index < vma.pages:
+            raise ValueError(
+                f"page {page_index} out of range for {vma!r}"
+            )
+        if page_index in vma.cow_broken:
+            return False
+        res = self._envelope()
+        if res is not None:
+            if not res.reserve_ram(PAGE_SIZE, owner=f"cow:{vma.name}"):
+                raise SyscallError(
+                    ENOMEM, f"out of memory: COW break {vma.name!r}"
+                )
+            vma.cow_charged_bytes += PAGE_SIZE
+        machine = self._machine
+        if machine is not None:
+            machine.charge("cow_break_per_page")
+        vma.cow_broken.add(page_index)
+        return True
+
+    def touch_range(self, vma: VMA, start_page: int, count: int) -> int:
+        """Break COW for ``count`` pages starting at ``start_page``.
+
+        Returns the number of pages newly broken.  If the RAM budget is
+        exhausted mid-range, every page broken *by this call* is rolled
+        back (released and un-broken) before the ENOMEM propagates, so a
+        failed large write leaves the envelope exactly as it found it.
+        """
+        broken_here: List[int] = []
+        res = self._envelope()
+        try:
+            for page in range(start_page, start_page + count):
+                if self.touch(vma, page):
+                    broken_here.append(page)
+        except SyscallError:
+            for page in broken_here:
+                vma.cow_broken.discard(page)  # type: ignore[union-attr]
+                if res is not None:
+                    res.release_ram(PAGE_SIZE)
+                    vma.cow_charged_bytes -= PAGE_SIZE
+            raise
+        return len(broken_here)
 
     def __iter__(self) -> Iterator[VMA]:
         return iter(self._vmas)

@@ -123,7 +123,22 @@ class Process:
 
 
 class KThread:
-    """A kernel thread: schedulable entity plus persona state."""
+    """A kernel thread: schedulable entity plus persona state.
+
+    ``__slots__``: one KThread is touched on every trap of every
+    simulated syscall (persona load, pending-signal check), and thread
+    storms create thousands — keep the layout compact.
+    """
+
+    __slots__ = (
+        "process",
+        "tid",
+        "persona",
+        "tls_areas",
+        "pending",
+        "sim_thread",
+        "exited",
+    )
 
     def __init__(
         self, process: Process, tid: int, persona: Persona
@@ -172,6 +187,8 @@ class KThread:
 
 class UserContext:
     """The execution context handed to simulated user code."""
+
+    __slots__ = ("kernel", "thread", "process", "machine", "_libc")
 
     def __init__(self, kernel: "Kernel", thread: KThread) -> None:
         self.kernel = kernel
@@ -435,16 +452,24 @@ class ProcessManager:
         parent = thread.process
 
         self._check_nproc(parent)
+        cow = kernel.cow_fork
         machine.charge("fork_base")
         pages = parent.address_space.copied_on_fork_pages
         if pages:
-            machine.charge("fork_per_page", pages)
+            # COW fork only marks the PTEs read-only instead of copying
+            # them — the per-page cost drops; the copy is paid lazily by
+            # mm.touch on first write.
+            machine.charge(
+                "cow_fork_per_page" if cow else "fork_per_page", pages
+            )
         if kernel.mach_subsystem is not None:
             machine.charge("mach_fork_init")
-        machine.emit("process", "fork", parent=parent.pid, pages=pages)
+        machine.emit(
+            "process", "fork", parent=parent.pid, pages=pages, cow=cow
+        )
 
         child = Process(kernel, self._alloc_pid(), parent.pid, parent.name)
-        child.address_space = parent.address_space.fork_copy()
+        child.address_space = parent.address_space.fork_copy(cow=cow)
         child.fd_table = parent.fd_table.fork_copy()
         child.cwd = parent.cwd
         child.signals = parent.signals.fork_copy()

@@ -85,6 +85,9 @@ class LinuxABI(KernelABI):
         self.table = DispatchTable("linux")
         _register_all(self.table)
 
+    def tables(self):
+        return (self.table,)
+
     def dispatch(
         self, kernel: "Kernel", thread: "KThread", trapno: int, args: tuple
     ) -> object:

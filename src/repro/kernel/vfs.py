@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..binfmt import BinaryImage
+from ..sim.clock import ns_to_ps
 from .errno import (
     EEXIST,
     EISDIR,
@@ -31,9 +32,16 @@ if TYPE_CHECKING:
 
 
 class Inode:
-    """Base of all filesystem objects."""
+    """Base of all filesystem objects.
+
+    The inode tree is among the hottest object populations in the
+    simulator (dyld's per-exec 115-library walk touches hundreds of
+    dentries), so every class in the hierarchy declares ``__slots__``.
+    """
 
     kind = "inode"
+
+    __slots__ = ("nlink",)
 
     def __init__(self) -> None:
         self.nlink = 1
@@ -45,6 +53,8 @@ class Inode:
 
 class Directory(Inode):
     kind = "dir"
+
+    __slots__ = ("entries",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -71,6 +81,8 @@ class Directory(Inode):
 class RegularFile(Inode):
     kind = "file"
 
+    __slots__ = ("data", "binary_image", "storage_reserved", "shared_cache")
+
     def __init__(
         self,
         data: bytes = b"",
@@ -83,6 +95,9 @@ class RegularFile(Inode):
         #: (charged by :class:`~repro.kernel.files.RegularHandle` writes,
         #: released on unlink/O_TRUNC).
         self.storage_reserved = 0
+        #: The prelinked dyld shared cache carried by the cache file
+        #: (set by repro.ios.frameworks.install_shared_cache).
+        self.shared_cache = None
 
     @property
     def size_bytes(self) -> int:
@@ -100,6 +115,8 @@ class RegularFile(Inode):
 class DeviceNode(Inode):
     kind = "device"
 
+    __slots__ = ("driver",)
+
     def __init__(self, driver: object) -> None:
         super().__init__()
         self.driver = driver
@@ -110,9 +127,17 @@ class SocketNode(Inode):
 
     kind = "socket"
 
+    __slots__ = ("listener",)
+
     def __init__(self, listener: object) -> None:
         super().__init__()
         self.listener = listener
+
+
+#: Approximate kernel-side size of one dentry-cache entry (bytes) — what
+#: the pressure evictor reports as released when the cache is dropped
+#: (a Linux ``struct dentry`` is ~192 bytes on 32-bit ARM).
+DCACHE_ENTRY_BYTES = 192
 
 
 class VFS:
@@ -121,6 +146,30 @@ class VFS:
     def __init__(self, machine: "Machine") -> None:
         self._machine = machine
         self.root = Directory()
+        # Hot-path engine: the per-component cost hoisted out of resolve
+        # (one float value + its single-component picosecond form, both
+        # resolved once at boot instead of a string lookup per call).
+        self._lookup_ns = machine.costs["path_lookup_component"]
+        self._lookup_ps = machine.cost_ps("path_lookup_component")
+        self._dcache_hit_ps = machine.cost_ps("dcache_hit")
+        # Per-depth picosecond table: entry ``n`` is the single rounding
+        # of ``n`` components' worth of lookup time — exactly what
+        # ``clock.charge(_lookup_ns * n)`` computes, hoisted to boot.
+        self._lookup_ps_by_depth = [
+            ns_to_ps(self._lookup_ns * n) for n in range(33)
+        ]
+        # Wall-clock memo: path string -> component tuple.  Purely a
+        # parsing cache (no inodes, no virtual-time effect) so it needs
+        # no invalidation; bounded to keep pathological workloads honest.
+        self._split_cache: Dict[str, tuple] = {}
+        #: Linux-dcache ablation (off by default: the default
+        #: configuration walks every component, which is what makes the
+        #: Cider prototype's dyld walk expensive — paper §6.2).
+        self.dcache_enabled = False
+        self._dcache: Dict[str, Inode] = {}
+        #: (hits, misses) counters for tests and EXPERIMENTS rows.
+        self.dcache_hits = 0
+        self.dcache_misses = 0
 
     # -- path plumbing --------------------------------------------------------
 
@@ -129,7 +178,55 @@ class VFS:
         return [part for part in path.split("/") if part and part != "."]
 
     def _charge_lookup(self, components: int) -> None:
-        self._machine.charge("path_lookup_component", max(1, components))
+        if components <= 1:
+            self._machine.clock.charge_ps(self._lookup_ps)
+        elif components < 33:
+            # Precomputed single rounding of the product — bit-identical
+            # to the historical ``charge(name, n)`` float path.
+            self._machine.clock.charge_ps(
+                self._lookup_ps_by_depth[components]
+            )
+        else:
+            self._machine.clock.charge(self._lookup_ns * components)
+
+    # -- dentry cache (warm-path ablation) ------------------------------------
+
+    def enable_dcache(self, kernel: Optional[object] = None) -> None:
+        """Turn on the Linux-style dentry cache (virtual-time ablation).
+
+        Warm absolute lookups charge one ``dcache_hit`` instead of the
+        per-component walk.  When ``kernel`` is given, the cache registers
+        a pressure evictor so jetsam can drop it before killing anyone
+        (the same registry dyld's shared cache uses, PR 3).
+        """
+        self.dcache_enabled = True
+        if kernel is not None:
+            kernel.pressure_evictors.append(self.drop_dcache)
+
+    def drop_dcache(self) -> int:
+        """Drop every cached dentry; returns the bytes released."""
+        released = len(self._dcache) * DCACHE_ENTRY_BYTES
+        self._dcache.clear()
+        return released
+
+    def invalidate_dcache(self, path: str) -> None:
+        """Remove ``path`` and everything under it from the dcache.
+
+        Called on unlink/rename/rmdir: a positive dentry must never
+        outlive its directory entry (no negative entries are cached, so
+        creations need no invalidation).
+        """
+        if not self._dcache:
+            return
+        key = "/" + "/".join(self.split(path))
+        prefix = key + "/"
+        stale = [
+            cached
+            for cached in self._dcache
+            if cached == key or cached.startswith(prefix)
+        ]
+        for cached in stale:
+            del self._dcache[cached]
 
     def resolve(self, path: str, cwd: Optional[Directory] = None) -> Inode:
         """Resolve ``path`` to an inode, charging per component.
@@ -147,31 +244,59 @@ class VFS:
             obs.exit_span(span)
 
     def _resolve_body(self, path: str, cwd: Optional[Directory]) -> Inode:
-        parts = self.split(path)
+        machine = self._machine
+        parts = self._split_cache.get(path)
+        if parts is None:
+            parts = tuple(
+                part for part in path.split("/") if part and part != "."
+            )
+            if len(self._split_cache) >= 4096:
+                self._split_cache.clear()
+            self._split_cache[path] = parts
+        absolute = path.startswith("/") or cwd is None
+        cache_key: Optional[str] = None
+        if self.dcache_enabled and absolute:
+            cache_key = "/" + "/".join(parts)
+            node = self._dcache.get(cache_key)
+            if node is not None:
+                # Warm path: one hash probe replaces the component walk.
+                self.dcache_hits += 1
+                machine.clock.charge_ps(self._dcache_hit_ps)
+                if machine.faults is not None:
+                    self._check_lookup_fault(path)
+                return node
+            self.dcache_misses += 1
         self._charge_lookup(len(parts))
-        if self._machine.faults is not None:
-            outcome = self._machine.faults.check("vfs.lookup", path=path)
-            if outcome is not None:
-                if outcome.kind == "delay":
-                    self._machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
-                elif outcome.kind == "errno":
-                    raise SyscallError(
-                        int(outcome.value),  # type: ignore[call-overload]
-                        f"fault injected: lookup {path!r}",
-                    )
-                else:  # kern/signal degrade to transient EIO here
-                    from .errno import EIO
-
-                    raise SyscallError(EIO, f"fault injected: lookup {path!r}")
-        node: Inode = self.root if path.startswith("/") or cwd is None else cwd
+        if machine.faults is not None:
+            self._check_lookup_fault(path)
+        node: Inode = self.root if absolute else cwd
         for part in parts:
             if not isinstance(node, Directory):
                 raise SyscallError(ENOTDIR, path)
-            child = node.lookup(part)
+            child = node.entries.get(part)
             if child is None:
                 raise SyscallError(ENOENT, path)
             node = child
+        if cache_key is not None:
+            self._dcache[cache_key] = node
         return node
+
+    def _check_lookup_fault(self, path: str) -> None:
+        if self._machine.faults is None:
+            return
+        outcome = self._machine.faults.check("vfs.lookup", path=path)
+        if outcome is not None:
+            if outcome.kind == "delay":
+                self._machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+            elif outcome.kind == "errno":
+                raise SyscallError(
+                    int(outcome.value),  # type: ignore[call-overload]
+                    f"fault injected: lookup {path!r}",
+                )
+            else:  # kern/signal degrade to transient EIO here
+                from .errno import EIO
+
+                raise SyscallError(EIO, f"fault injected: lookup {path!r}")
 
     def resolve_parent(
         self, path: str, cwd: Optional[Directory] = None
@@ -263,6 +388,8 @@ class VFS:
             raise SyscallError(EISDIR, path)
         self._machine.charge("file_unlink")
         parent.unlink(name)
+        if self.dcache_enabled:
+            self.invalidate_dcache(path)
         reserved = getattr(target, "storage_reserved", 0)
         if reserved:
             res = self._machine.resources
@@ -280,6 +407,48 @@ class VFS:
         if target.entries:
             raise SyscallError(ENOTEMPTY, path)
         parent.unlink(name)
+        if self.dcache_enabled:
+            self.invalidate_dcache(path)
+
+    def rename(
+        self,
+        old_path: str,
+        new_path: str,
+        cwd: Optional[Directory] = None,
+    ) -> None:
+        """rename(2): atomically move ``old_path`` to ``new_path``.
+
+        Replaces an existing non-directory target (releasing its storage
+        reservation, like unlink).  Both names — and anything cached
+        underneath either of them — drop out of the dcache.
+        """
+        old_parent, old_name = self.resolve_parent(old_path, cwd)
+        source = old_parent.lookup(old_name)
+        if source is None:
+            raise SyscallError(ENOENT, old_path)
+        new_parent, new_name = self.resolve_parent(new_path, cwd)
+        existing = new_parent.lookup(new_name)
+        if existing is not None:
+            if isinstance(existing, Directory):
+                if not isinstance(source, Directory):
+                    raise SyscallError(EISDIR, new_path)
+                if existing.entries:
+                    raise SyscallError(ENOTEMPTY, new_path)
+            elif isinstance(source, Directory):
+                raise SyscallError(ENOTDIR, new_path)
+            new_parent.unlink(new_name)
+            reserved = getattr(existing, "storage_reserved", 0)
+            if reserved:
+                res = self._machine.resources
+                if res is not None:
+                    res.release_storage(reserved)
+                existing.storage_reserved = 0  # type: ignore[attr-defined]
+        self._machine.charge("file_unlink")
+        old_parent.unlink(old_name)
+        new_parent.link(new_name, source)
+        if self.dcache_enabled:
+            self.invalidate_dcache(old_path)
+            self.invalidate_dcache(new_path)
 
     def listdir(self, path: str, cwd: Optional[Directory] = None) -> List[str]:
         node = self.resolve(path, cwd)

@@ -27,6 +27,23 @@ class KernelABI:
 
     name = "abi"
 
+    #: Cost charged once per dispatch (None for the domestic ABI, which
+    #: dispatches for free; XNU charges translation or native-trap cost).
+    #: The kernel resolves this to integer picoseconds at persona
+    #: registration so the flattened trap path never does a string lookup.
+    dispatch_cost_name: "str | None" = None
+
+    def tables(self) -> "Tuple[DispatchTable, ...]":
+        """The ABI's dispatch tables, for flattening.
+
+        ABIs whose ``dispatch`` is exactly *charge dispatch_cost_name once,
+        look the number up in one of these tables, call the handler* return
+        them here and the kernel collapses the whole route into a single
+        precomputed ``{trapno: handler}`` dict.  ABIs with bespoke dispatch
+        logic return ``()`` and keep the virtual-call slow path.
+        """
+        return ()
+
     def dispatch(
         self, kernel: "Kernel", thread: "KThread", trapno: int, args: tuple
     ) -> object:
@@ -52,6 +69,16 @@ class DispatchTable:
         self.name = name
         self._handlers: Dict[int, Tuple[str, SyscallHandler]] = {}
         self._numbers_by_name: Dict[str, int] = {}
+        #: Flat-cache invalidation: the kernel's precomputed per-persona
+        #: handler arrays subscribe here so late registrations (Cider adds
+        #: ``set_persona`` to every table *after* persona registration)
+        #: drop the stale cache instead of missing the new syscall.
+        self._listeners: list = []
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Call ``listener()`` whenever this table gains a syscall."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
 
     def register(self, number: int, name: str, handler: SyscallHandler) -> None:
         if number in self._handlers:
@@ -61,6 +88,15 @@ class DispatchTable:
             )
         self._handlers[number] = (name, handler)
         self._numbers_by_name[name] = number
+        for listener in self._listeners:
+            listener()
+
+    def items(self):
+        """(number, handler) pairs — used by the kernel's flattener."""
+        return [
+            (number, handler)
+            for number, (_name, handler) in self._handlers.items()
+        ]
 
     def lookup(self, number: int) -> Tuple[str, SyscallHandler]:
         try:

@@ -21,10 +21,29 @@ if TYPE_CHECKING:
 class Persona:
     """An execution mode: a kernel ABI plus a TLS layout."""
 
+    __slots__ = (
+        "name",
+        "abi",
+        "tls_layout",
+        "_flat",
+        "_dispatch_ps",
+        "_trace_key",
+        "_subscribed",
+    )
+
     def __init__(self, name: str, abi: "KernelABI", tls_layout: TLSLayout) -> None:
         self.name = name
         self.abi = abi
         self.tls_layout = tls_layout
+        #: Kernel-maintained hot-path caches (see ``Kernel._prime_persona``):
+        #: flattened ``{trapno: handler}`` across the ABI's dispatch tables
+        #: (None = not yet primed / invalidated by a table change), the
+        #: ABI's per-dispatch cost in integer picoseconds, and the
+        #: pre-built ``("syscall", abi.name)`` trace-counter key.
+        self._flat = None
+        self._dispatch_ps = 0
+        self._trace_key = ("syscall", getattr(abi, "name", "abi"))
+        self._subscribed = False
 
     def __repr__(self) -> str:
         return f"<Persona {self.name!r}>"

@@ -76,6 +76,12 @@ DEFAULT_COSTS: Dict[str, float] = {
     # Copying one page's worth of page-table entries on fork.  An iOS
     # process maps ~90MB => ~23k 4KB pages => ~1ms extra (paper §6.2).
     "fork_per_page": 43.0,
+    # COW fork (ablation, off by default): write-protecting one PTE at
+    # fork time instead of duplicating it...
+    "cow_fork_per_page": 6.0,
+    # ...and servicing the write-protect fault + 4KB page copy when the
+    # child (or parent) first writes the page.
+    "cow_break_per_page": 640.0,
     "exec_base": 240_000.0,
     "exit_base": 30_000.0,
     "wait_base": 15_000.0,
@@ -98,6 +104,14 @@ DEFAULT_COSTS: Dict[str, float] = {
     "dyld_link_per_lib": 7_000.0,
     # Mapping the prelinked shared cache in one go (iPad mini fast path).
     "dyld_shared_cache_map": 260_000.0,
+    # dyld3-style launch closure: validating a prebuilt closure against the
+    # cache generation (one stat + hash check) instead of re-walking the
+    # dependency graph (ablation, off by default).
+    "dyld_closure_hit": 21_000.0,
+    # Replaying one closure entry: the image is already located and its
+    # link edits prevalidated; only the map remains (charged per MB via
+    # dyld_lib_map_per_mb) plus this residual fix-up.
+    "dyld_closure_lib_replay": 1_100.0,
     # User-space pthread_atfork / dyld exit callbacks: 115 libraries worth
     # of handlers account for ~2.5ms of the iOS fork+exit time (paper §6.2).
     "atfork_handler": 7_200.0,
@@ -105,6 +119,9 @@ DEFAULT_COSTS: Dict[str, float] = {
 
     # ---- VFS / local IPC ---------------------------------------------------
     "path_lookup_component": 350.0,
+    # Dentry-cache hit: one hash probe replaces the per-component walk
+    # (Linux dcache warm path; ablation, off by default).
+    "dcache_hit": 90.0,
     "open_base": 900.0,
     "close_base": 350.0,
     "read_base": 500.0,
@@ -211,6 +228,15 @@ class CostModel:
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._costs)
+
+    def compile_ps(self) -> Dict[str, int]:
+        """The whole table resolved to integer picoseconds, one rounding
+        per cost name — the same rounding :meth:`VirtualClock.charge`
+        performs per call, hoisted out of the hot path.  ``Machine``
+        compiles this once per device at boot (the model is immutable)."""
+        from .clock import ns_to_ps
+
+        return {name: ns_to_ps(ns) for name, ns in self._costs.items()}
 
     def derive(self, name: str, **overrides: float) -> "CostModel":
         """A copy of this model with ``overrides`` applied."""

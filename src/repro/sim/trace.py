@@ -33,7 +33,7 @@ WATCHDOG_CATEGORY = "watchdog"
 RESOURCE_CATEGORY = "resource"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One logged event.  ``timestamp_ns`` is integer nanoseconds."""
 
@@ -100,6 +100,20 @@ class Trace:
             self._events.append(
                 TraceEvent(int(round(clock_now_ns)), category, name, dict(detail))
             )
+
+    def bump(self, key: Tuple[str, str]) -> None:
+        """Counter-only emission for the disabled fast path.
+
+        Semantically identical to :meth:`emit` while ``enabled`` is False,
+        but takes a *pre-built* ``(category, name)`` tuple so hot callers
+        (the kernel trap path caches one per persona) pay zero allocations
+        — no kwargs dict, no tuple construction, no event record.
+        """
+        self._counters[key] = self._counters.get(key, 0) + 1
+        category = key[0]
+        self._category_totals[category] = (
+            self._category_totals.get(category, 0) + 1
+        )
 
     def count(self, category: str, name: Optional[str] = None) -> int:
         """Events counted for ``category`` (optionally a specific name)."""

@@ -1,0 +1,21 @@
+"""The default-configuration virtual-time golden.
+
+Every wall-clock optimisation in PR 4 (precompiled picosecond charges,
+flattened trap dispatch, ``__slots__``) carries the same contract: the
+*virtual* clock must advance bit-identically to the unoptimised
+arithmetic.  This test pins that contract to a committed golden file —
+``benchmarks/golden_fig5_virtual_ns.json`` — holding the exact virtual
+nanoseconds of a Figure-5 mini-run and a two-persona launch under the
+default configuration (all warm-path ablations off).
+
+If an intentional cost-model change moves these numbers, re-record with::
+
+    PYTHONPATH=src python -m repro.workloads.golden --record
+"""
+
+from repro.workloads import golden
+
+
+def test_default_config_virtual_time_is_bit_identical():
+    result = golden.verify()
+    assert result["ok"] is True

@@ -70,6 +70,9 @@ class TestCider:
             assert system.kernel.cider_config == {
                 "fence_bug": False,
                 "shared_cache": True,
+                "dcache": False,
+                "launch_closures": False,
+                "cow_fork": False,
             }
 
     def test_android_binaries_still_run(self):
