@@ -127,20 +127,91 @@ class Bionic:
 
     # -- sockets -------------------------------------------------------------------
 
-    def socket(self) -> int:
-        return self._trap(nr.NR_socket)
+    def socket(self, domain: int = 1, sock_type: int = 1) -> int:
+        """``socket(2)``: AF_UNIX (1, default) or AF_INET (2) x
+        SOCK_STREAM (1) / SOCK_DGRAM (2)."""
+        return self._trap(nr.NR_socket, domain, sock_type)
 
-    def bind(self, fd: int, path: str, backlog: int = 8) -> int:
-        return self._trap(nr.NR_bind, fd, path, backlog)
+    def bind(self, fd: int, addr: object, backlog: int = 8) -> int:
+        """AF_UNIX: ``addr`` is a path (bind+listen); AF_INET: ``(ip, port)``."""
+        return self._trap(nr.NR_bind, fd, addr, backlog)
 
-    def connect(self, fd: int, path: str) -> int:
-        return self._trap(nr.NR_connect, fd, path)
+    def listen(self, fd: int, backlog: int = 128) -> int:
+        return self._trap(nr.NR_listen, fd, backlog)
+
+    def connect(self, fd: int, addr: object) -> int:
+        return self._trap(nr.NR_connect, fd, addr)
 
     def accept(self, fd: int) -> int:
         return self._trap(nr.NR_accept, fd)
 
+    def sendto(self, fd: int, data: bytes, addr: object = None) -> object:
+        return self._trap(nr.NR_sendto, fd, data, addr)
+
+    def recvfrom(self, fd: int, nbytes: int) -> object:
+        """Returns ``(data, source_address)`` or -1 with errno set."""
+        return self._trap(nr.NR_recvfrom, fd, nbytes)
+
+    def setsockopt(
+        self, fd: int, level: int, option: int, value: object = 1
+    ) -> int:
+        return self._trap(nr.NR_setsockopt, fd, level, option, value)
+
+    def getsockname(self, fd: int) -> object:
+        return self._trap(nr.NR_getsockname, fd)
+
+    def shutdown(self, fd: int, how: int = 2) -> int:
+        return self._trap(nr.NR_shutdown, fd, how)
+
     def socketpair(self) -> object:
         return self._trap(nr.NR_socketpair)
+
+    def getaddrinfo(self, name: str) -> Optional[str]:
+        """Deterministic stub resolver, the Bionic half.
+
+        Encodes a plain-text query, ships it as a real UDP datagram to
+        the in-sim DNS server (10.0.2.3:53) through the same sendto/
+        recvfrom syscalls any app would use, and parses the answer.
+        Returns the address string, or ``None`` (NXDOMAIN).
+
+        Like a real stub resolver it retransmits on a timeout —
+        ``DNS_RETRIES`` sends, ``DNS_TIMEOUT_NS`` apart — so a query or
+        answer datagram lost to an injected ``net.send`` fault costs one
+        deterministic timeout instead of hanging the caller.
+        """
+        from ..net.netstack import (
+            DNS_PORT,
+            DNS_RETRIES,
+            DNS_SERVER_IP,
+            DNS_TIMEOUT_NS,
+        )
+        from ..net.sockets import AF_INET, SOCK_DGRAM
+
+        self._ctx.machine.charge("net_dns_query_cpu")
+        fd = self.socket(AF_INET, SOCK_DGRAM)
+        if fd == -1:
+            return None
+        try:
+            query = b"Q " + name.encode()
+            for _attempt in range(DNS_RETRIES):
+                if self.sendto(fd, query, (DNS_SERVER_IP, DNS_PORT)) == -1:
+                    return None
+                ready = self.select([fd], timeout_ns=DNS_TIMEOUT_NS)
+                if ready == -1:
+                    return None
+                if not ready[0]:
+                    continue  # timed out: retransmit
+                result = self.recvfrom(fd, 512)
+                if result == -1:
+                    return None
+                answer, _server = result
+                parts = answer.decode().split()
+                if parts and parts[0] == "A" and len(parts) == 3:
+                    return parts[2]
+                return None
+            return None
+        finally:
+            self.close(fd)
 
     # -- processes ------------------------------------------------------------------
 

@@ -202,6 +202,9 @@ class AndroidFramework:
         self.activity_manager = ActivityManager(self)
         self.installed: Dict[str, Callable[[], AndroidApp]] = {}
         self.running: Dict[str, AppRecord] = {}
+        #: Native services started via :meth:`start_service`
+        #: (name -> supervisor Process), Android-init style.
+        self.services: Dict[str, Process] = {}
         self.system_server: Optional[Process] = None
         self._next_z = self.APP_Z_BASE
 
@@ -229,6 +232,24 @@ class AndroidFramework:
         ctx.machine.emit("framework", "system_server_started")
         self.input_manager.run(ctx)  # blocks reading input forever
         return 0
+
+    # -- native services ----------------------------------------------------------
+
+    def start_service(self, name: str, path: str, image) -> Process:
+        """Start a native daemon under supervision (Android-init style).
+
+        Installs ``image`` at ``path`` and spawns a supervisor daemon
+        that fork+execs the service, reaps it with ``waitpid``, and
+        respawns it with exponential backoff until a throttle limit —
+        the domestic mirror of launchd's keep-alive jobs.  The in-sim
+        HTTP origin (:mod:`repro.net.http`) rides this path.
+        """
+        from ..net.http import start_supervised_elf
+
+        supervisor = start_supervised_elf(self.system, path, image, name)
+        self.services[name] = supervisor
+        self.machine.emit("framework", "service_registered", service=name)
+        return supervisor
 
     # -- app management -----------------------------------------------------------
 

@@ -1,0 +1,71 @@
+"""HttpURLConnection-lite: the java.net fetch API Android apps use.
+
+The domestic twin of :mod:`repro.ios.cfnetwork`: identical transport
+(the shared kernel INET sockets, reached through Linux trap numbers via
+Bionic), different API shape.  netbench fetches the same resources
+through both veneers on the same machine to show the network path is
+persona-independent apart from the documented dispatch overhead.
+
+Fetch latency lands in the ``urlconnection.fetch.ns`` histogram when the
+observatory is attached.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..net.http import http_get
+from ..ios.cfnetwork import parse_url
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+
+class HttpURLConnection:
+    """``(HttpURLConnection) new URL(u).openConnection()``.
+
+    Lazily connects on first use (``getResponseCode`` or
+    ``getInputStream``-equivalent :meth:`read_body`), one request per
+    connection — exactly the ``Connection: close`` contract the in-sim
+    origin speaks.
+    """
+
+    def __init__(self, ctx: "UserContext", url: str) -> None:
+        self._ctx = ctx
+        self.url = url
+        self.response_code: Optional[int] = None
+        self._body: Optional[bytes] = None
+
+    def _fetch(self) -> None:
+        if self.response_code is not None:
+            return
+        ctx = self._ctx
+        machine = ctx.machine
+        machine.charge("native_op", 24)  # URL parse + connection object
+        host, port, path = parse_url(self.url)
+        with machine.span("urlconnection.fetch", path, url=self.url):
+            status, body = http_get(ctx, host, path, port)
+        self.response_code = status
+        self._body = body
+        machine.emit(
+            "urlconnection", "fetched", url=self.url, status=status,
+            bytes=len(body),
+        )
+
+    def get_response_code(self) -> int:
+        self._fetch()
+        return self.response_code if self.response_code is not None else -1
+
+    def read_body(self) -> bytes:
+        """Drain the input stream (the sim returns it in one piece)."""
+        self._fetch()
+        return self._body or b""
+
+    def disconnect(self) -> None:
+        self._body = None
+
+
+def url_open(ctx: "UserContext", url: str) -> HttpURLConnection:
+    """``new URL(url).openConnection()``."""
+    ctx.machine.charge("native_op", 8)
+    return HttpURLConnection(ctx, url)

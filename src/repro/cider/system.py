@@ -89,13 +89,23 @@ def _boot_linux_kernel(profile: DeviceProfile, label: str) -> System:
 def build_vanilla_android(
     profile: Optional[DeviceProfile] = None,
     with_framework: bool = False,
+    with_httpd: bool = False,
 ) -> System:
-    """Configuration 1: unmodified Android."""
+    """Configuration 1: unmodified Android.
+
+    ``with_httpd`` starts the in-sim HTTP origin (:mod:`repro.net.http`)
+    under Android-init style supervision.
+    """
     system = _boot_linux_kernel(profile or nexus7(), "vanilla-android")
     if with_framework:
         from ..android.framework import boot_android_framework
 
         system.android = boot_android_framework(system)
+    if with_httpd:
+        from ..net.http import start_httpd_android
+
+        start_httpd_android(system)
+        system.run_until_idle()  # let the origin reach its accept loop
     return system
 
 
@@ -107,6 +117,7 @@ def build_cider(
     dcache: bool = False,
     launch_closures: bool = False,
     cow_fork: bool = False,
+    with_httpd: bool = False,
 ) -> System:
     """Configurations 2 and 3: the Cider kernel on the Nexus 7.
 
@@ -116,9 +127,15 @@ def build_cider(
     ``launch_closures`` (dyld launch closures) and ``cow_fork``
     (copy-on-write fork) are the warm-path ablations of DESIGN.md §9 —
     all toggles default to off so the default configuration reproduces
-    the paper's measured prototype.
+    the paper's measured prototype.  ``with_httpd`` installs the in-sim
+    HTTP origin as a launchd keep-alive job *before* launchd boots
+    (:mod:`repro.net.http`), so both personas' clients can fetch from it.
     """
     system = _boot_linux_kernel(profile or nexus7(), "cider")
+    if with_httpd:
+        from ..net.http import install_httpd_ios
+
+        install_httpd_ios(system)
     from .enable import enable_cider
 
     enable_cider(

@@ -47,7 +47,9 @@ SYS_wait4 = 7
 SYS_unlink = 10
 SYS_execve = 59
 SYS_getpid = 20
+SYS_recvfrom = 29
 SYS_accept = 30
+SYS_getsockname = 32
 SYS_kill = 37
 SYS_getppid = 39
 SYS_pipe = 42
@@ -57,7 +59,10 @@ SYS_select = 93
 SYS_socket = 97
 SYS_connect = 98
 SYS_bind = 104
+SYS_setsockopt = 105
 SYS_listen = 106
+SYS_sendto = 133
+SYS_shutdown = 134
 SYS_socketpair = 135
 SYS_mkdir = 136
 SYS_rmdir = 137
@@ -301,9 +306,21 @@ def _register_bsd(table: DispatchTable, native: bool) -> None:
     table.register(SYS_sigaction, "sigaction", xnu_sigaction)
     table.register(SYS_ioctl, "ioctl", linux.sys_ioctl)
     table.register(SYS_select, "select", xnu_select_native_quirk)
+    # The whole BSD socket family passes straight through to the Linux
+    # handlers: XNU and Linux both descend from the BSD socket
+    # abstraction, so network syscalls need no diplomat — one shared
+    # implementation, with the XNU side paying only the per-dispatch
+    # translation cost (asserted by tests/test_net.py).  This is why the
+    # paper's network-dependent iOS apps run unmodified.
     table.register(SYS_socket, "socket", linux.sys_socket)
     table.register(SYS_connect, "connect", linux.sys_connect)
     table.register(SYS_bind, "bind", linux.sys_bind)
+    table.register(SYS_listen, "listen", linux.sys_listen)
+    table.register(SYS_sendto, "sendto", linux.sys_sendto)
+    table.register(SYS_recvfrom, "recvfrom", linux.sys_recvfrom)
+    table.register(SYS_setsockopt, "setsockopt", linux.sys_setsockopt)
+    table.register(SYS_getsockname, "getsockname", linux.sys_getsockname)
+    table.register(SYS_shutdown, "shutdown", linux.sys_shutdown)
     table.register(SYS_socketpair, "socketpair", linux.sys_socketpair)
     table.register(SYS_mkdir, "mkdir", linux.sys_mkdir)
     table.register(SYS_rmdir, "rmdir", linux.sys_rmdir)

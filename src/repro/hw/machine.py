@@ -62,6 +62,11 @@ class Machine:
         #: ``faults`` and ``obs``); install with
         #: :meth:`install_resources`.
         self.resources: Optional[ResourceEnvelope] = None
+        #: Virtual netstack (repro.net): built lazily on first use so a
+        #: machine that never opens an INET socket charges nothing and
+        #: allocates nothing — the same zero-cost-when-off contract as
+        #: ``faults``/``obs``/``resources``.
+        self._net = None
 
         self.cpu = CPU(profile.cpu_cores, profile.cpu_mhz)
         self.gpu = GPU(self, speed_factor=profile.gpu_speed_factor)
@@ -213,6 +218,28 @@ class Machine:
             return NULL_SPAN
         return obs.span(subsystem, name, **attrs)
 
+    # -- networking ------------------------------------------------------------
+
+    @property
+    def net(self):
+        """The machine's virtual netstack, built on first access.
+
+        Workloads that never touch INET sockets never build it, so the
+        default-config golden virtual time is untouched by the subsystem's
+        existence (asserted by ``tests/integration/test_golden_virtual_time``).
+        """
+        stack = self._net
+        if stack is None:
+            from ..net.netstack import NetStack
+
+            stack = self._net = NetStack(self)
+        return stack
+
+    @property
+    def net_if_up(self):
+        """The netstack if it was ever touched, else ``None`` (no build)."""
+        return self._net
+
     # -- tracing ---------------------------------------------------------------
 
     def emit(self, category: str, name: str, **detail: object) -> None:
@@ -238,6 +265,7 @@ class DeviceProfile:
         gpu_speed_factor: float = 1.0,
         seed: int = 20140301,  # ASPLOS'14 started March 1, 2014
         quirks: Optional[frozenset] = None,
+        links: Optional[dict] = None,
     ) -> None:
         self.name = name
         self.cost_model = cost_model
@@ -252,6 +280,11 @@ class DeviceProfile:
         #: Free-form behavioural quirk tags consulted by kernels
         #: (e.g. "xnu_select_blowup", "dyld_shared_cache").
         self.quirks = quirks or frozenset()
+        #: Per-interface :class:`~repro.hw.profiles.LinkProfile` table
+        #: ("lo", "wlan0", ...); ``None`` falls back to
+        #: :func:`repro.hw.profiles.default_links` when the netstack is
+        #: first touched.
+        self.links = links
 
     def has_quirk(self, tag: str) -> bool:
         return tag in self.quirks

@@ -14,8 +14,60 @@ Each override cites the observation in the paper it is calibrated against.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from ..sim.costs import CostModel
 from .machine import DeviceProfile
+
+
+class LinkProfile:
+    """Cost model of one network interface on one device.
+
+    The virtual netstack (:mod:`repro.net`) charges three things per
+    transfer, all against the sender's virtual clock:
+
+    * ``latency_ns`` — one propagation delay per flight (connect pays the
+      handshake's 1.5 RTT; a windowed stream pays one RTT per congestion
+      window's worth of unacknowledged bytes).
+    * ``ns_per_kb`` — serialisation time: the reciprocal of goodput.
+    * ``mtu`` — payloads are segmented into MTU-sized frames and the
+      per-segment CPU costs (``net_tx_per_segment``/``net_rx_per_segment``)
+      are charged once per frame, so small-MTU links pay more CPU per byte
+      exactly the way a real NIC driver does.
+
+    Deterministic by construction: the numbers are part of the device
+    profile, so the same seed replays byte-identical packet logs.
+    """
+
+    __slots__ = ("name", "latency_ns", "ns_per_kb", "mtu")
+
+    def __init__(self, name: str, latency_ns: float, ns_per_kb: float, mtu: int) -> None:
+        self.name = name
+        self.latency_ns = latency_ns
+        self.ns_per_kb = ns_per_kb
+        self.mtu = mtu
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkProfile {self.name!r} lat={self.latency_ns:.0f}ns "
+            f"{self.ns_per_kb:.0f}ns/KB mtu={self.mtu}>"
+        )
+
+
+def _loopback() -> LinkProfile:
+    # In-memory copy through the stack; 64KB "frames", ~30ns/KB memcpy.
+    return LinkProfile("lo", latency_ns=5_000.0, ns_per_kb=30.0, mtu=65536)
+
+
+def default_links() -> Dict[str, LinkProfile]:
+    """Fallback link table for profiles that predate ``links``."""
+    return {
+        "lo": _loopback(),
+        "wlan0": LinkProfile(
+            "wlan0", latency_ns=1_500_000.0, ns_per_kb=126_000.0, mtu=1500
+        ),
+    }
+
 
 #: Basic-operation cost names scaled by raw CPU speed.
 _CPU_BOUND_COSTS = (
@@ -50,6 +102,15 @@ def nexus7() -> DeviceProfile:
         display_width=1280,
         display_height=800,
         gpu_speed_factor=1.0,
+        links={
+            "lo": _loopback(),
+            # BCM4330 802.11n radio: ~65 Mbps of real-world goodput
+            # (8192 bits/KB / 65e6 bps ~= 126 us/KB), ~1.5 ms one-way
+            # to a same-AP peer.
+            "wlan0": LinkProfile(
+                "wlan0", latency_ns=1_500_000.0, ns_per_kb=126_000.0, mtu=1500
+            ),
+        },
     )
 
 
@@ -100,6 +161,14 @@ def ipad_mini() -> DeviceProfile:
         # SGX543MP2 beats Tegra 3 on 3D throughput (Fig. 6 3D).
         gpu_speed_factor=0.55,
         quirks=frozenset({"xnu_select_blowup", "dyld_shared_cache"}),
+        links={
+            "lo": _loopback(),
+            # BCM4334 radio: slightly lower goodput and higher driver
+            # latency than the Nexus 7's part on the same 802.11n AP.
+            "wlan0": LinkProfile(
+                "wlan0", latency_ns=1_800_000.0, ns_per_kb=140_000.0, mtu=1500
+            ),
+        },
     )
 
 

@@ -1,0 +1,110 @@
+"""CFNetwork-lite: the NSURLSession slice iOS apps fetch with.
+
+A thin foreign-API veneer over the shared BSD socket surface: the data
+task resolves the host with ``getaddrinfo``, opens an AF_INET stream
+socket, and speaks HTTP/1.1 to the in-sim origin — every byte moving
+through the *same* XNU trap numbers Bionic's clients use Linux numbers
+for.  CFNetwork adds API shape (sessions, tasks, completion handlers),
+not transport: transport is the kernel's, which is the Cider story.
+
+Fetch latency lands in the ``cfnetwork.fetch.ns`` histogram when the
+observatory is attached (compare with ``urlconnection.fetch.ns`` for the
+cross-persona plot netbench prints).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
+
+from ..net.http import HTTPD_PORT, http_get
+
+if TYPE_CHECKING:
+    from ..kernel.process import UserContext
+
+
+def parse_url(url: str) -> Tuple[str, int, str]:
+    """``http://host[:port]/path`` -> (host, port, path)."""
+    rest = url[len("http://") :] if url.startswith("http://") else url
+    netloc, slash, path = rest.partition("/")
+    host, colon, port_s = netloc.partition(":")
+    port = int(port_s) if colon else HTTPD_PORT
+    return host, port, "/" + path if slash else "/"
+
+
+class NSURLResponse:
+    """The response head (status + the URL it answered for)."""
+
+    def __init__(self, url: str, status_code: int) -> None:
+        self.url = url
+        self.status_code = status_code
+
+    def __repr__(self) -> str:
+        return f"<NSURLResponse {self.status_code} {self.url!r}>"
+
+
+class NSURLSessionDataTask:
+    """One fetch.  Created suspended; ``resume()`` runs it to completion
+    (the simulation's run loop is the scheduler itself)."""
+
+    def __init__(
+        self,
+        ctx: "UserContext",
+        url: str,
+        completion: Optional[
+            Callable[[bytes, NSURLResponse, Optional[str]], None]
+        ] = None,
+    ) -> None:
+        self._ctx = ctx
+        self.url = url
+        self._completion = completion
+        self.response: Optional[NSURLResponse] = None
+        self.data: bytes = b""
+        self.error: Optional[str] = None
+        self.state = "suspended"
+
+    def resume(self) -> "NSURLSessionDataTask":
+        ctx = self._ctx
+        machine = ctx.machine
+        machine.charge("native_op", 24)  # task state machine + URL parse
+        host, port, path = parse_url(self.url)
+        self.state = "running"
+        with machine.span("cfnetwork.fetch", path, url=self.url):
+            status, body = http_get(ctx, host, path, port)
+        if status < 0:
+            self.error = f"NSURLErrorDomain errno={ctx.libc.errno}"
+            status = -1
+        self.response = NSURLResponse(self.url, status)
+        self.data = body
+        self.state = "completed"
+        machine.emit(
+            "cfnetwork", "task_complete", url=self.url, status=status,
+            bytes=len(body),
+        )
+        if self._completion is not None:
+            self._completion(self.data, self.response, self.error)
+        return self
+
+
+class NSURLSession:
+    """``[NSURLSession sharedSession]`` — bound to one user context."""
+
+    def __init__(self, ctx: "UserContext") -> None:
+        self._ctx = ctx
+
+    @classmethod
+    def shared(cls, ctx: "UserContext") -> "NSURLSession":
+        state = ctx.lib_state("CFNetwork")
+        session = state.get("shared_session")
+        if session is None:
+            session = state["shared_session"] = cls(ctx)
+        return session
+
+    def data_task_with_url(
+        self,
+        url: str,
+        completion: Optional[
+            Callable[[bytes, NSURLResponse, Optional[str]], None]
+        ] = None,
+    ) -> NSURLSessionDataTask:
+        self._ctx.machine.charge("native_op", 16)
+        return NSURLSessionDataTask(self._ctx, url, completion)

@@ -126,21 +126,94 @@ class IOSLibc:
         return names
 
     # -- sockets -----------------------------------------------------------------------
+    # The BSD socket family is where XNU and Linux genuinely share an
+    # abstraction: these wrappers trap with XNU numbers into the *same*
+    # kernel handlers Bionic reaches with Linux numbers (pass-through,
+    # no diplomat) — only the error convention differs at this edge.
 
-    def socket(self) -> int:
-        return self._bsd(xnu.SYS_socket)
+    def socket(self, domain: int = 1, sock_type: int = 1) -> int:
+        """``socket(2)``: AF_UNIX (1, default) or AF_INET (2) x
+        SOCK_STREAM (1) / SOCK_DGRAM (2)."""
+        return self._bsd(xnu.SYS_socket, domain, sock_type)
 
-    def bind(self, fd: int, path: str, backlog: int = 8) -> int:
-        return self._bsd(xnu.SYS_bind, fd, path, backlog)
+    def bind(self, fd: int, addr: object, backlog: int = 8) -> int:
+        """AF_UNIX: ``addr`` is a path (bind+listen); AF_INET: ``(ip, port)``."""
+        return self._bsd(xnu.SYS_bind, fd, addr, backlog)
 
-    def connect(self, fd: int, path: str) -> int:
-        return self._bsd(xnu.SYS_connect, fd, path)
+    def listen(self, fd: int, backlog: int = 128) -> int:
+        return self._bsd(xnu.SYS_listen, fd, backlog)
+
+    def connect(self, fd: int, addr: object) -> int:
+        return self._bsd(xnu.SYS_connect, fd, addr)
 
     def accept(self, fd: int) -> int:
         return self._bsd(xnu.SYS_accept, fd)
 
+    def sendto(self, fd: int, data: bytes, addr: object = None) -> object:
+        return self._bsd(xnu.SYS_sendto, fd, data, addr)
+
+    def recvfrom(self, fd: int, nbytes: int) -> object:
+        """Returns ``(data, source_address)`` or -1 with errno set."""
+        return self._bsd(xnu.SYS_recvfrom, fd, nbytes)
+
+    def setsockopt(
+        self, fd: int, level: int, option: int, value: object = 1
+    ) -> int:
+        return self._bsd(xnu.SYS_setsockopt, fd, level, option, value)
+
+    def getsockname(self, fd: int) -> object:
+        return self._bsd(xnu.SYS_getsockname, fd)
+
+    def shutdown(self, fd: int, how: int = 2) -> int:
+        return self._bsd(xnu.SYS_shutdown, fd, how)
+
     def socketpair(self) -> object:
         return self._bsd(xnu.SYS_socketpair)
+
+    def getaddrinfo(self, name: str) -> Optional[str]:
+        """Deterministic stub resolver, the libSystem half.
+
+        Byte-for-byte the same wire exchange as Bionic's ``getaddrinfo``
+        — same query datagram to 10.0.2.3:53, same answer parse — issued
+        through XNU syscall numbers instead of Linux ones.  The identical
+        behaviour *is* the pass-through demonstration.  The same
+        timeout-and-retransmit policy applies (``DNS_RETRIES`` sends,
+        ``DNS_TIMEOUT_NS`` apart) so injected datagram loss degrades to
+        a deterministic delay, not a hang.
+        """
+        from ..net.netstack import (
+            DNS_PORT,
+            DNS_RETRIES,
+            DNS_SERVER_IP,
+            DNS_TIMEOUT_NS,
+        )
+        from ..net.sockets import AF_INET, SOCK_DGRAM
+
+        self._ctx.machine.charge("net_dns_query_cpu")
+        fd = self.socket(AF_INET, SOCK_DGRAM)
+        if fd == -1:
+            return None
+        try:
+            query = b"Q " + name.encode()
+            for _attempt in range(DNS_RETRIES):
+                if self.sendto(fd, query, (DNS_SERVER_IP, DNS_PORT)) == -1:
+                    return None
+                ready = self.select([fd], timeout_ns=DNS_TIMEOUT_NS)
+                if ready == -1:
+                    return None
+                if not ready[0]:
+                    continue  # timed out: retransmit
+                result = self.recvfrom(fd, 512)
+                if result == -1:
+                    return None
+                answer, _server = result
+                parts = answer.decode().split()
+                if parts and parts[0] == "A" and len(parts) == 3:
+                    return parts[2]
+                return None
+            return None
+        finally:
+            self.close(fd)
 
     # -- processes ------------------------------------------------------------------------
 

@@ -60,6 +60,13 @@ def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
     ctx.machine.emit("launchd", "bootstrap_ready")
 
     supervise = "--no-keepalive" not in argv
+    # Keep-alive job table: the stock iOS daemons plus whatever the
+    # system builder registered (e.g. the in-sim HTTP origin).  Copied
+    # here so per-boot additions never mutate the module global.
+    keep_alive: Dict[str, str] = dict(KEEP_ALIVE_SERVICES)
+    keep_alive.update(
+        getattr(ctx.machine.kernel, "launchd_extra_services", {}) or {}
+    )
     jobs: Dict[int, str] = {}  # live pid -> service binary
     restarts: Dict[str, int] = {}
     throttled: Set[str] = set()
@@ -104,8 +111,8 @@ def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
         # The dead service's port right is useless now: drop it from the
         # bootstrap namespace so clients see "not registered" (and retry)
         # instead of a dead name, until the respawn re-registers.
-        registry.pop(KEEP_ALIVE_SERVICES.get(path, ""), None)
-        if not supervise or path not in KEEP_ALIVE_SERVICES:
+        registry.pop(keep_alive.get(path, ""), None)
+        if not supervise or path not in keep_alive:
             return
         count = restarts.get(path, 0) + 1
         restarts[path] = count
@@ -130,7 +137,7 @@ def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
     # Start the standard Mach IPC services (paper §2: "launchd starts
     # Mach IPC services such as configd ... notifyd").
     if "--no-services" not in argv:
-        for service_path in KEEP_ALIVE_SERVICES:
+        for service_path in keep_alive:
             spawn_service(ctx, service_path)
 
     while True:

@@ -42,9 +42,19 @@ ERANGE = 34
 ENOSYS = 38
 ENOTEMPTY = 39
 ENOTSOCK = 88
+EMSGSIZE = 90
 EOPNOTSUPP = 95
 EADDRINUSE = 98
+EADDRNOTAVAIL = 99
+ENETUNREACH = 101
+ECONNRESET = 104
+ENOBUFS = 105
+EISCONN = 106
+ENOTCONN = 107
+ETIMEDOUT = 110
 ECONNREFUSED = 111
+EHOSTUNREACH = 113
+EINPROGRESS = 115
 
 _NAMES = {
     value: name

@@ -82,6 +82,12 @@ class Kernel:
         self.dyld: Optional[object] = None
         #: Tombstones written by crash containment (see :mod:`.crash`).
         self.crash_reports: List[CrashReport] = []
+        #: Extra launchd keep-alive jobs (binary path -> bootstrap name)
+        #: merged with :data:`repro.ios.services.KEEP_ALIVE_SERVICES` at
+        #: launchd boot.  System builders (e.g. the in-sim HTTP origin,
+        #: :mod:`repro.net.http`) add entries *before* init runs so the
+        #: daemon is spawned and supervised like configd/notifyd.
+        self.launchd_extra_services: Dict[str, str] = {}
         #: pid -> callback(level): processes that asked to hear about
         #: memory pressure *before* the kill daemons pick victims (UIKit
         #: registers ``didReceiveMemoryWarning`` delivery here).  Entries

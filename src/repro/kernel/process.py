@@ -505,7 +505,12 @@ class ProcessManager:
             self.finalize_process(child, code)
             return code
 
-        self.attach_sim_thread(child_thread, body)
+        # Daemon-ness is inherited, exactly as in do_posix_spawn: a
+        # service supervisor forking its workload must not keep the
+        # simulation from quiescing once everything else is done.
+        parent_sim = thread.sim_thread
+        daemon = bool(parent_sim is not None and parent_sim.daemon)
+        self.attach_sim_thread(child_thread, body, daemon=daemon)
         return child.pid
 
     def do_exec(self, thread: KThread, path: str, argv: List[str]) -> "NoReturn":  # type: ignore[name-defined]

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional
 
+from ..net.sockets import AF_INET, AF_UNIX, SOCK_STREAM, INetSocket
 from ..persona.abi import DispatchTable, KernelABI
 from ..sim.resources import RLIMIT_AS, RLIMIT_NOFILE
-from .errno import EINVAL, ENOTTY, ESRCH, SyscallError
+from .errno import EINVAL, ENOTSOCK, ENOTTY, EOPNOTSUPP, ESRCH, SyscallError
 from .files import (
     DeviceHandle,
     DirectoryHandle,
@@ -64,8 +65,14 @@ NR_gettid = 224
 NR_socket = 281
 NR_bind = 282
 NR_connect = 283
+NR_listen = 284
 NR_accept = 285
+NR_getsockname = 286
 NR_socketpair = 288
+NR_sendto = 290
+NR_recvfrom = 292
+NR_shutdown = 293
+NR_setsockopt = 294
 NR_clone = 120
 #: Cider addition — available from every persona (paper §4.3).
 NR_set_persona = 983045  # above the native ARM range (__ARM_NR_* area)
@@ -274,9 +281,31 @@ def sys_clone(
     return new_thread.tid
 
 
-def sys_socket(kernel: "Kernel", thread: "KThread"):
-    sock = UnixSocket(kernel.machine)
-    return fd_alloc(thread.process, sock)
+def sys_socket(
+    kernel: "Kernel",
+    thread: "KThread",
+    domain: int = AF_UNIX,
+    sock_type: int = SOCK_STREAM,
+):
+    """The BSD socket family entry point shared by both personas.
+
+    ``AF_UNIX`` keeps the historical local-socket behaviour;
+    ``AF_INET`` mints an INET socket on the machine's virtual netstack
+    (built lazily on first use).  Either way the descriptor is minted
+    through the one checked ``fd_alloc`` path (RLIMIT_NOFILE => EMFILE);
+    an EMFILE after the socket object exists rolls its buffers back.
+    """
+    if domain == AF_INET:
+        sock: OpenFile = INetSocket(kernel.machine, sock_type)
+    elif domain == AF_UNIX:
+        sock = UnixSocket(kernel.machine)
+    else:
+        raise SyscallError(EINVAL, f"address family {domain}")
+    try:
+        return fd_alloc(thread.process, sock)
+    except SyscallError:
+        sock.decref()  # release socket buffers reserved from the envelope
+        raise
 
 
 def _sock_for(thread: "KThread", fd: int) -> UnixSocket:
@@ -286,21 +315,127 @@ def _sock_for(thread: "KThread", fd: int) -> UnixSocket:
     return handle
 
 
+def _any_sock_for(thread: "KThread", fd: int) -> OpenFile:
+    handle = thread.process.fd_table.get(fd)
+    if not isinstance(handle, (UnixSocket, INetSocket)):
+        raise SyscallError(ENOTSOCK, "not a socket")
+    return handle
+
+
 def sys_bind(
-    kernel: "Kernel", thread: "KThread", fd: int, path: str, backlog: int = 8
+    kernel: "Kernel", thread: "KThread", fd: int, addr: object, backlog: int = 8
 ):
-    bind(kernel.machine, _sock_for(thread, fd), path, backlog)
+    """Polymorphic bind: a string is an AF_UNIX path (bind+listen, the
+    historical behaviour), an ``(ip, port)`` pair binds an INET socket."""
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        ip, port = addr  # type: ignore[misc]
+        handle.bind((str(ip), int(port)))
+        return 0
+    bind(kernel.machine, handle, str(addr), backlog)
     return 0
 
 
-def sys_connect(kernel: "Kernel", thread: "KThread", fd: int, path: str):
-    connect(kernel.machine, _sock_for(thread, fd), path)
+def sys_listen(kernel: "Kernel", thread: "KThread", fd: int, backlog: int = 128):
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        handle.listen(backlog)
+        return 0
+    # AF_UNIX bind() already listens in this model; listen() adjusts the
+    # backlog of the existing listener.
+    if handle.listener is None:
+        raise SyscallError(EOPNOTSUPP, "listen before bind")
+    handle.listener.backlog = backlog
+    return 0
+
+
+def sys_connect(kernel: "Kernel", thread: "KThread", fd: int, addr: object):
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        ip, port = addr  # type: ignore[misc]
+        handle.connect((str(ip), int(port)))
+        return 0
+    connect(kernel.machine, handle, str(addr))
     return 0
 
 
 def sys_accept(kernel: "Kernel", thread: "KThread", fd: int):
-    peer = accept(kernel.machine, _sock_for(thread, fd))
-    return fd_alloc(thread.process, peer)
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        peer: OpenFile = handle.accept()
+    else:
+        peer = accept(kernel.machine, handle)
+    try:
+        return fd_alloc(thread.process, peer)
+    except SyscallError:
+        peer.decref()
+        raise
+
+
+def sys_sendto(
+    kernel: "Kernel",
+    thread: "KThread",
+    fd: int,
+    data: bytes,
+    addr: object = None,
+):
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        dst = None
+        if addr is not None:
+            ip, port = addr  # type: ignore[misc]
+            dst = (str(ip), int(port))
+        return handle.sendto(data, dst)
+    if addr is not None:
+        raise SyscallError(EINVAL, "sendto with address on AF_UNIX stream")
+    return handle.write(data)
+
+
+def sys_recvfrom(kernel: "Kernel", thread: "KThread", fd: int, nbytes: int):
+    """Returns ``(data, source_address)``."""
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        return handle.recvfrom(nbytes)
+    return handle.read(nbytes), None
+
+
+def sys_setsockopt(
+    kernel: "Kernel",
+    thread: "KThread",
+    fd: int,
+    level: int,
+    option: int,
+    value: object = 1,
+):
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        handle.setsockopt(level, option, value)
+    return 0
+
+
+def sys_getsockname(kernel: "Kernel", thread: "KThread", fd: int):
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        return handle.getsockname()
+    return handle.bound_path
+
+
+def sys_shutdown(kernel: "Kernel", thread: "KThread", fd: int, how: int = 2):
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        handle.shutdown(how)
+        return 0
+    # AF_UNIX: SHUT_WR/RDWR close the transmit stream (peer reads EOF),
+    # SHUT_RD closes receive (our reads return EOF, peer writes EPIPE).
+    if how not in (0, 1, 2):
+        raise SyscallError(EINVAL, f"shutdown how={how}")
+    if how >= 1 and handle._tx is not None:
+        handle._tx.open = False
+        handle._tx.waitq.wake_all()
+    if how in (0, 2) and handle._rx is not None:
+        handle._rx.open = False
+        handle._rx.waitq.wake_all()
+    return 0
 
 
 def sys_socketpair(kernel: "Kernel", thread: "KThread"):
@@ -392,5 +527,11 @@ def _register_all(table: DispatchTable) -> None:
     table.register(NR_socket, "socket", sys_socket)
     table.register(NR_bind, "bind", sys_bind)
     table.register(NR_connect, "connect", sys_connect)
+    table.register(NR_listen, "listen", sys_listen)
     table.register(NR_accept, "accept", sys_accept)
+    table.register(NR_getsockname, "getsockname", sys_getsockname)
     table.register(NR_socketpair, "socketpair", sys_socketpair)
+    table.register(NR_sendto, "sendto", sys_sendto)
+    table.register(NR_recvfrom, "recvfrom", sys_recvfrom)
+    table.register(NR_shutdown, "shutdown", sys_shutdown)
+    table.register(NR_setsockopt, "setsockopt", sys_setsockopt)

@@ -122,6 +122,8 @@ class UnixSocket(OpenFile):
             raise SyscallError(EPIPE, "peer closed")
         sched = self.machine.scheduler
         while len(self._tx.buffer) >= SOCK_CAPACITY:
+            if self.flags & 0o4000:  # O_NONBLOCK: same contract as repro.net
+                raise SyscallError(EAGAIN, "send buffer full")
             self.machine.kernel.wait_interruptible(self._tx.waitq)
             if not self._tx.open:
                 raise SyscallError(EPIPE, "peer closed")
@@ -192,7 +194,11 @@ def connect(machine: "Machine", sock: UnixSocket, path: str) -> None:
 
 
 def accept(machine: "Machine", sock: UnixSocket) -> UnixSocket:
-    """Accept one pending connection, blocking if none."""
+    """Accept one pending connection, blocking if none.
+
+    Under ``O_NONBLOCK`` an empty backlog raises EAGAIN instead of
+    blocking — the same non-blocking contract as the INET stack
+    (historically this path blocked regardless of the flag)."""
     listener = sock.listener
     if listener is None:
         raise SyscallError(EOPNOTSUPP, "not listening")
@@ -200,6 +206,8 @@ def accept(machine: "Machine", sock: UnixSocket) -> UnixSocket:
     while not listener.pending:
         if listener.closed:
             raise SyscallError(EINVAL, "listener closed")
+        if sock.flags & 0o4000:  # O_NONBLOCK
+            raise SyscallError(EAGAIN, "no pending connections")
         machine.kernel.wait_interruptible(listener.accept_waitq)
     machine.charge("sock_transfer")
     return listener.pending.popleft()

@@ -1,0 +1,56 @@
+"""repro.net — the deterministic virtual network stack.
+
+One per-machine :class:`~repro.net.netstack.NetStack` (loopback + a
+cost-modeled Wi-Fi NIC from the device profile's link table), INET
+stream/datagram sockets implemented once in the kernel and exposed
+through *both* persona tables, a deterministic DNS resolver, and an
+in-sim HTTP/1.1 origin.  Built lazily: machines that never touch INET
+sockets never construct it (``Machine.net_if_up is None``), keeping the
+golden default-config virtual time byte-identical.
+"""
+
+from .netstack import (
+    DNS_PORT,
+    DNS_SERVER_IP,
+    LOOPBACK_IP,
+    NetStack,
+)
+from .sockets import (
+    AF_INET,
+    AF_UNIX,
+    INetSocket,
+    SHUT_RD,
+    SHUT_RDWR,
+    SHUT_WR,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+)
+from .http import (
+    HTTPD_PORT,
+    ORIGIN_HOST,
+    http_get,
+    httpd_main,
+    install_httpd_ios,
+    start_httpd_android,
+)
+
+__all__ = [
+    "AF_INET",
+    "AF_UNIX",
+    "DNS_PORT",
+    "DNS_SERVER_IP",
+    "HTTPD_PORT",
+    "INetSocket",
+    "LOOPBACK_IP",
+    "NetStack",
+    "ORIGIN_HOST",
+    "SHUT_RD",
+    "SHUT_RDWR",
+    "SHUT_WR",
+    "SOCK_DGRAM",
+    "SOCK_STREAM",
+    "http_get",
+    "httpd_main",
+    "install_httpd_ios",
+    "start_httpd_android",
+]

@@ -1,0 +1,306 @@
+"""An in-sim HTTP/1.1 origin server and a tiny wire-level client.
+
+The server body is *persona-agnostic*: it speaks only through
+``ctx.libc`` — and because the BSD socket family is registered in both
+persona tables with one shared kernel implementation, the very same
+function runs as an ELF entry under Bionic and as a Mach-O entry under
+libSystem.  That symmetry is the point: the network stack is part of the
+pass-through ABI surface, not a per-persona subsystem.
+
+Supervision mirrors the personas' native service managers:
+
+* iOS — :func:`install_httpd_ios` registers ``/usr/libexec/httpd`` in
+  :attr:`Kernel.launchd_extra_services` *before* launchd boots, so
+  launchd spawns it alongside configd/notifyd and keep-alive respawns it
+  if it dies (same backoff/throttle policy).
+* Android — :func:`start_httpd_android` starts it under a supervisor
+  daemon (`AndroidFramework.start_service` when the framework is booted),
+  Android-init style: fork/exec the service, ``waitpid``, respawn with
+  exponential backoff until a throttle limit.
+
+One request per connection (``Connection: close``), deterministic
+routing: ``/hello`` (fixed banner), ``/bytes/N`` (N payload bytes),
+anything else 404.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..binfmt import BinaryImage, elf_executable, macho_executable
+from .sockets import AF_INET, SHUT_WR, SOCK_STREAM, SO_REUSEADDR, SOL_SOCKET
+
+if TYPE_CHECKING:
+    from ..cider.system import System
+    from ..kernel.process import UserContext
+
+#: Where the origin listens and the name clients resolve for it.
+HTTPD_PORT = 8080
+ORIGIN_HOST = "origin.sim"
+
+#: Bootstrap name under launchd supervision (iOS side).
+HTTPD_SERVICE = "com.example.httpd"
+
+HTTPD_ELF_PATH = "/system/bin/httpd"
+HTTPD_MACHO_PATH = "/usr/libexec/httpd"
+
+HELLO_BODY = b"hello from the origin\n"
+
+#: Android-init style supervision policy (mirrors launchd's).
+SVC_BACKOFF_BASE_NS = 10_000_000.0  # 10 ms
+SVC_RESTART_LIMIT = 5
+
+
+# -- wire format ---------------------------------------------------------------
+
+
+def build_request(path: str, host: str) -> bytes:
+    return (
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    ).encode()
+
+
+def build_response(status: int, reason: str, body: bytes) -> bytes:
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode() + body
+
+
+def parse_response(raw: bytes) -> Tuple[int, bytes]:
+    """Returns ``(status_code, body)``; (-1, b"") on a malformed reply."""
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        return -1, b""
+    try:
+        status = int(head.split(b"\r\n", 1)[0].split()[1])
+    except (IndexError, ValueError):
+        return -1, b""
+    return status, body
+
+
+# -- the server ----------------------------------------------------------------
+
+
+def _route(path: str) -> Tuple[int, str, bytes]:
+    if path == "/hello":
+        return 200, "OK", HELLO_BODY
+    if path.startswith("/bytes/"):
+        try:
+            n = int(path[len("/bytes/") :])
+        except ValueError:
+            return 400, "Bad Request", b"bad count\n"
+        if n < 0 or n > 4 * 1024 * 1024:
+            return 400, "Bad Request", b"bad count\n"
+        return 200, "OK", b"x" * n
+    return 404, "Not Found", b"no such resource\n"
+
+
+def httpd_main(ctx: "UserContext", argv: List[str]) -> int:
+    """The origin server's entry point — ELF and Mach-O alike.
+
+    Sequential accept loop (deterministic service order), one request
+    per connection.  Every byte moves through the same trap numbers the
+    benchmarks measure.
+    """
+    libc = ctx.libc
+    machine = ctx.machine
+    port = HTTPD_PORT
+    for arg in argv[1:]:
+        if arg.startswith("--port="):
+            port = int(arg.split("=", 1)[1])
+    fd = libc.socket(AF_INET, SOCK_STREAM)
+    if fd == -1:
+        return 1
+    libc.setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, 1)
+    if libc.bind(fd, ("0.0.0.0", port)) == -1:
+        libc.close(fd)
+        return 1
+    if libc.listen(fd, 128) == -1:
+        libc.close(fd)
+        return 1
+    machine.emit("httpd", "listening", port=port, pid=libc.getpid())
+    served = 0
+    while True:
+        conn = libc.accept(fd)
+        if conn == -1:
+            continue
+        raw = b""
+        while b"\r\n\r\n" not in raw:
+            chunk = libc.read(conn, 4096)
+            if not isinstance(chunk, bytes) or chunk == b"":
+                break
+            raw += chunk
+        if b"\r\n\r\n" not in raw:
+            libc.close(conn)
+            continue
+        machine.charge("net_http_parse")
+        try:
+            parts = raw.split(b"\r\n", 1)[0].split()
+            method, target = parts[0].decode(), parts[1].decode()
+        except (IndexError, UnicodeDecodeError):
+            method, target = "?", "?"
+        if method != "GET":
+            status, reason, body = 405, "Method Not Allowed", b"GET only\n"
+        else:
+            status, reason, body = _route(target)
+        libc.write(conn, build_response(status, reason, body))
+        libc.shutdown(conn, SHUT_WR)
+        libc.close(conn)
+        served += 1
+        machine.emit(
+            "httpd", "served", target=target, status=status, total=served
+        )
+    return 0
+
+
+# -- the client ----------------------------------------------------------------
+
+
+def http_get(
+    ctx: "UserContext",
+    host: str,
+    path: str,
+    port: int = HTTPD_PORT,
+) -> Tuple[int, bytes]:
+    """Blocking wire-level GET: resolve, connect, request, drain to EOF.
+
+    Returns ``(status_code, body)``; ``(-1, b"")`` on resolution,
+    connection, or protocol failure (``libc.errno`` holds the cause for
+    syscall-level failures).
+    """
+    libc = ctx.libc
+    if any(c.isalpha() for c in host):
+        ip = libc.getaddrinfo(host)
+        if ip is None:
+            return -1, b""
+    else:
+        ip = host
+    fd = libc.socket(AF_INET, SOCK_STREAM)
+    if fd == -1:
+        return -1, b""
+    try:
+        if libc.connect(fd, (ip, port)) == -1:
+            return -1, b""
+        if libc.write(fd, build_request(path, host)) == -1:
+            return -1, b""
+        libc.shutdown(fd, SHUT_WR)
+        raw = b""
+        while True:
+            chunk = libc.read(fd, 65536)
+            if not isinstance(chunk, bytes) or chunk == b"":
+                break
+            raw += chunk
+        return parse_response(raw)
+    finally:
+        libc.close(fd)
+
+
+# -- binaries ------------------------------------------------------------------
+
+
+def make_httpd_elf() -> BinaryImage:
+    return elf_executable("httpd", httpd_main, deps=["libc.so"], text_kb=96)
+
+
+def make_httpd_macho() -> BinaryImage:
+    return macho_executable("httpd", httpd_main, text_kb=96)
+
+
+# -- supervision wiring --------------------------------------------------------
+
+
+def install_httpd_ios(system: "System", port: int = HTTPD_PORT) -> None:
+    """Install the Mach-O origin and hand it to launchd's keep-alive set.
+
+    Must run *before* launchd boots (i.e. before ``enable_cider`` /
+    ``enable_xnu_native``) — launchd snapshots its keep-alive table at
+    startup, exactly like real launchd reads its LaunchDaemons plists
+    once at boot.
+    """
+    vfs = system.kernel.vfs
+    vfs.makedirs("/usr/libexec")
+    vfs.install_binary(HTTPD_MACHO_PATH, make_httpd_macho())
+    system.kernel.launchd_extra_services[HTTPD_MACHO_PATH] = HTTPD_SERVICE
+    system.machine.net.register_host(ORIGIN_HOST)
+    del port  # fixed port in the launchd job (plists carry no argv here)
+
+
+def supervisor_main(
+    ctx: "UserContext", argv: List[str], service_path: str, name: str
+) -> int:
+    """Android-init style service supervisor (runs as its own daemon).
+
+    fork+exec the service, ``waitpid`` it, respawn after an exponential
+    backoff; after :data:`SVC_RESTART_LIMIT` restarts the service is
+    declared dead (``svc:throttled`` event) and the supervisor exits.
+    """
+    libc = ctx.libc
+    machine = ctx.machine
+    restarts = 0
+    while True:
+        pid = libc.fork(
+            lambda child: child.libc.execve(service_path, [service_path])
+        )
+        if pid == -1:
+            return 1
+        machine.emit("svc", "started", service=name, pid=pid)
+        result = libc.waitpid(pid)
+        code = result[1] if isinstance(result, tuple) else -1
+        machine.emit("svc", "exited", service=name, pid=pid, code=code)
+        restarts += 1
+        if restarts > SVC_RESTART_LIMIT:
+            machine.emit("svc", "throttled", service=name, restarts=restarts)
+            return 0
+        libc.nanosleep(SVC_BACKOFF_BASE_NS * (2 ** (restarts - 1)))
+
+
+def start_supervised_elf(
+    system: "System",
+    path: str,
+    image: BinaryImage,
+    name: str,
+) -> object:
+    """Install ``image`` at ``path`` and start it under a supervisor
+    daemon.  Returns the supervisor :class:`Process`."""
+    vfs = system.kernel.vfs
+    directory = path.rsplit("/", 1)[0] or "/"
+    vfs.makedirs(directory)
+    vfs.install_binary(path, image)
+    sup_image = elf_executable(
+        f"svc:{name}",
+        lambda ctx, argv: supervisor_main(ctx, argv, path, name),
+        text_kb=32,
+    )
+    sup_path = f"{directory}/{name}_svc"
+    vfs.install_binary(sup_path, sup_image)
+    return system.kernel.start_process(
+        sup_path, name=f"svc:{name}", daemon=True
+    )
+
+
+def start_httpd_android(
+    system: "System", supervised: bool = True
+) -> Optional[object]:
+    """Start the ELF origin on an Android(-capable) system.
+
+    With the framework booted the service goes through
+    ``AndroidFramework.start_service`` (ActivityManager-tracked); bare
+    kernels get the standalone supervisor.  Either way the origin's
+    hostname is registered with the netstack.
+    """
+    system.machine.net.register_host(ORIGIN_HOST)
+    framework = getattr(system, "android", None)
+    if framework is not None and supervised:
+        return framework.start_service("httpd", HTTPD_ELF_PATH, make_httpd_elf())
+    if supervised:
+        return start_supervised_elf(
+            system, HTTPD_ELF_PATH, make_httpd_elf(), "httpd"
+        )
+    vfs = system.kernel.vfs
+    vfs.makedirs("/system/bin")
+    vfs.install_binary(HTTPD_ELF_PATH, make_httpd_elf())
+    return system.kernel.start_process(
+        HTTPD_ELF_PATH, name="httpd", daemon=True
+    )

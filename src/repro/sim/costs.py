@@ -135,6 +135,30 @@ DEFAULT_COSTS: Dict[str, float] = {
     "select_base": 1_400.0,
     "select_per_fd": 95.0,
 
+    # ---- INET networking (repro.net virtual netstack) ----------------------
+    # CPU-side costs of the BSD socket layer; the *link* costs (propagation
+    # latency, serialisation per KB, MTU segmentation) live in the per-device
+    # LinkProfile (repro.hw.profiles) and are charged by the netstack, not
+    # by these names.  None of these names is charged unless an INET socket
+    # is created, preserving the zero-cost-when-off invariant.
+    "net_socket_create": 1_200.0,
+    "net_bind": 800.0,
+    "net_listen": 600.0,
+    # connect()/accept() CPU work excluding handshake flight time.
+    "net_connect_cpu": 2_000.0,
+    "net_accept_cpu": 1_500.0,
+    # Per-segment CPU cost of the TX/RX paths (header build/parse, checksum,
+    # queueing); charged once per MTU-sized segment.
+    "net_tx_per_segment": 1_800.0,
+    "net_rx_per_segment": 1_600.0,
+    # Copy in/out of socket buffers.
+    "net_tx_per_kb": 220.0,
+    "net_rx_per_kb": 200.0,
+    # Deterministic stub resolver: encode query + parse answer.
+    "net_dns_query_cpu": 4_000.0,
+    # HTTP/1.1 request/response head parse (origin server and clients).
+    "net_http_parse": 6_000.0,
+
     # ---- Storage / memory hardware ----------------------------------------
     "storage_op_base": 60_000.0,
     "storage_read_per_kb": 150.0,

@@ -54,6 +54,8 @@ INJECTION_POINTS = (
     "mm.reserve",      # AddressSpace.map, forced RAM-budget scarcity
     "vfs.write",       # RegularHandle.write, forced ENOSPC scarcity
     "ipc.qfull",       # MachIPC send with a full queue (backpressure)
+    "net.connect",     # repro.net TCP handshake (ECONNREFUSED/ETIMEDOUT/delay)
+    "net.send",        # repro.net transmit path (drop -> retransmit, errno)
 )
 
 # -- outcomes -------------------------------------------------------------------

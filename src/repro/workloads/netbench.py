@@ -1,0 +1,228 @@
+"""netbench: network microbenchmarks, Android vs Cider-iOS on one device.
+
+Two phases, each "compiled" into both binary formats (the lmbench
+pattern) and run against the same launchd-supervised in-sim origin on
+the same machine:
+
+* **fetch** — repeated small GETs (``/hello``) through each persona's
+  native fetch API (``HttpURLConnection`` on Android, ``NSURLSession``
+  on iOS), reporting mean per-fetch latency in virtual ns.
+* **stream** — one large GET (``/bytes/N``) reporting goodput in
+  virtual MB/s, plus a *storm*: C worker pthreads each fetching
+  concurrently (exercises listener backlog + select/kqueue readiness
+  under the deterministic scheduler).
+
+Because both personas' clients dispatch into the *same* kernel socket
+implementation, the iOS column differs from the Android column only by
+the documented persona/dispatch overhead — the network-path half of the
+paper's pass-through claim.  The summary ends with the machine's packet
+log digest: two same-seed runs must print identical documents
+(``tests/test_net.py`` and the ``net-determinism`` CI job assert it).
+
+Run::
+
+    PYTHONPATH=src python -m repro.workloads.netbench
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..binfmt import elf_executable, macho_executable
+from ..kernel.process import UserContext
+from ..net.http import ORIGIN_HOST
+
+DEFAULT_FETCHES = 8
+DEFAULT_STREAM_KB = 256
+DEFAULT_STORM_WORKERS = 4
+
+ELF_PATH = "/data/netbench/netbench"
+MACHO_PATH = "/data/netbench-ios/netbench"
+
+
+def _params(argv: List[str]) -> Dict:
+    return argv[1] if len(argv) > 1 and isinstance(argv[1], dict) else {}
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (no interpolation)."""
+    import math
+
+    ordered = sorted(samples)
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+# -- benchmark bodies ----------------------------------------------------------
+
+
+def bench_android(ctx: UserContext, argv: List[str]) -> int:
+    """The domestic client: java.net-style HttpURLConnection."""
+    from ..android.urlconnection import url_open
+
+    params = _params(argv)
+    out = params.get("out", {})
+    fetches = params.get("fetches", DEFAULT_FETCHES)
+    stream_kb = params.get("stream_kb", DEFAULT_STREAM_KB)
+    workers = params.get("storm_workers", DEFAULT_STORM_WORKERS)
+    base = f"http://{ORIGIN_HOST}"
+
+    watch = ctx.machine.stopwatch()
+    samples: List[float] = []
+    for _ in range(fetches):
+        watch.restart()
+        conn = url_open(ctx, base + "/hello")
+        assert conn.get_response_code() == 200
+        conn.disconnect()
+        samples.append(watch.elapsed_ns())
+    out["fetch_ns"] = sum(samples) / fetches
+    out["fetch_p50_ns"] = _percentile(samples, 0.50)
+    out["fetch_p95_ns"] = _percentile(samples, 0.95)
+
+    watch.restart()
+    conn = url_open(ctx, f"{base}/bytes/{stream_kb * 1024}")
+    body = conn.read_body()
+    assert conn.get_response_code() == 200 and len(body) == stream_kb * 1024
+    elapsed = watch.elapsed_ns()
+    out["stream_mb_s"] = (stream_kb / 1024.0) / (elapsed / 1e9)
+
+    done = {"count": 0}
+
+    def worker(wctx: UserContext) -> int:
+        wconn = url_open(wctx, base + "/hello")
+        assert wconn.get_response_code() == 200
+        done["count"] += 1
+        return 0
+
+    watch.restart()
+    for _ in range(workers):
+        ctx.libc.pthread_create(worker, name="storm")
+    while done["count"] < workers:
+        ctx.libc.sched_yield()
+    out["storm_ns"] = watch.elapsed_ns()
+    return 0
+
+
+def bench_ios(ctx: UserContext, argv: List[str]) -> int:
+    """The foreign client: NSURLSession data tasks — byte-for-byte the
+    same request/response exchange, reached through XNU trap numbers."""
+    from ..ios.cfnetwork import NSURLSession
+
+    params = _params(argv)
+    out = params.get("out", {})
+    fetches = params.get("fetches", DEFAULT_FETCHES)
+    stream_kb = params.get("stream_kb", DEFAULT_STREAM_KB)
+    workers = params.get("storm_workers", DEFAULT_STORM_WORKERS)
+    base = f"http://{ORIGIN_HOST}"
+    session = NSURLSession.shared(ctx)
+
+    watch = ctx.machine.stopwatch()
+    samples: List[float] = []
+    for _ in range(fetches):
+        watch.restart()
+        task = session.data_task_with_url(base + "/hello").resume()
+        assert task.response is not None and task.response.status_code == 200
+        samples.append(watch.elapsed_ns())
+    out["fetch_ns"] = sum(samples) / fetches
+    out["fetch_p50_ns"] = _percentile(samples, 0.50)
+    out["fetch_p95_ns"] = _percentile(samples, 0.95)
+
+    watch.restart()
+    task = session.data_task_with_url(
+        f"{base}/bytes/{stream_kb * 1024}"
+    ).resume()
+    assert task.response is not None and task.response.status_code == 200
+    assert len(task.data) == stream_kb * 1024
+    elapsed = watch.elapsed_ns()
+    out["stream_mb_s"] = (stream_kb / 1024.0) / (elapsed / 1e9)
+
+    done = {"count": 0}
+
+    def worker(wctx: UserContext) -> int:
+        wtask = NSURLSession.shared(wctx).data_task_with_url(
+            base + "/hello"
+        ).resume()
+        assert wtask.response is not None
+        assert wtask.response.status_code == 200
+        done["count"] += 1
+        return 0
+
+    watch.restart()
+    for _ in range(workers):
+        ctx.libc.pthread_create(worker, name="storm")
+    while done["count"] < workers:
+        ctx.libc.sched_yield()
+    out["storm_ns"] = watch.elapsed_ns()
+    return 0
+
+
+# -- harness -------------------------------------------------------------------
+
+
+def install_netbench(system) -> None:
+    vfs = system.kernel.vfs
+    vfs.makedirs("/data/netbench")
+    vfs.makedirs("/data/netbench-ios")
+    vfs.install_binary(
+        ELF_PATH, elf_executable("netbench", bench_android, deps=["libc.so"])
+    )
+    vfs.install_binary(MACHO_PATH, macho_executable("netbench", bench_ios))
+
+
+def run_netbench(
+    fetches: int = DEFAULT_FETCHES,
+    stream_kb: int = DEFAULT_STREAM_KB,
+    storm_workers: int = DEFAULT_STORM_WORKERS,
+    fault_plan=None,
+) -> Dict[str, object]:
+    """Boot one Cider machine with the supervised origin, run the Android
+    build then the iOS build, and return the comparison document."""
+    from ..cider.system import build_cider
+
+    system = build_cider(with_httpd=True)
+    if fault_plan is not None:
+        system.machine.faults = fault_plan
+    install_netbench(system)
+    results: Dict[str, object] = {}
+    for label, path in (("android", ELF_PATH), ("cider-ios", MACHO_PATH)):
+        out: Dict[str, float] = {}
+        params = {
+            "out": out,
+            "fetches": fetches,
+            "stream_kb": stream_kb,
+            "storm_workers": storm_workers,
+        }
+        code = system.run_program(path, [path, params])
+        assert code == 0, f"{label} netbench exited {code}"
+        results[label] = out
+    net = system.machine.net
+    results["packet_log_digest"] = net.log_digest()
+    results["net"] = net.summary()
+    results["virtual_ns"] = system.machine.clock.now_ns
+    system.shutdown()
+    return results
+
+
+def main() -> None:
+    results = run_netbench()
+    android = results["android"]
+    ios = results["cider-ios"]
+    print("netbench — same device, same origin, both personas")
+    print(f"{'metric':<16}{'android':>14}{'cider-ios':>14}{'ios/android':>13}")
+    for key, unit in (
+        ("fetch_ns", "ns"),
+        ("fetch_p50_ns", "ns"),
+        ("fetch_p95_ns", "ns"),
+        ("stream_mb_s", "MB/s"),
+        ("storm_ns", "ns"),
+    ):
+        a, i = android[key], ios[key]
+        ratio = i / a if a else float("nan")
+        print(f"{key:<16}{a:>12.1f} {unit:<2}{i:>11.1f} {unit:<2}{ratio:>10.3f}x")
+    print(f"packet log digest: {results['packet_log_digest']}")
+    print(json.dumps({"net": results["net"]}, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

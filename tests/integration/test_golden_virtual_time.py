@@ -13,9 +13,27 @@ If an intentional cost-model change moves these numbers, re-record with::
     PYTHONPATH=src python -m repro.workloads.golden --record
 """
 
+from repro.cider.system import build_cider
 from repro.workloads import golden
 
 
 def test_default_config_virtual_time_is_bit_identical():
     result = golden.verify()
     assert result["ok"] is True
+
+
+def test_golden_workloads_never_build_the_netstack():
+    """Zero-cost-when-off for ``repro.net``: the golden two-persona
+    launch must finish without ever constructing the virtual netstack
+    (``Machine.net`` is lazy), so the Figure-5 golden numbers are
+    untouched by the network subsystem's existence."""
+    system = build_cider()
+    try:
+        assert system.run_program("/system/bin/hello") == 0
+        assert system.run_program("/bin/hello-ios") == 0
+        assert system.machine.net_if_up is None, (
+            "the netstack was built during a workload that "
+            "never opens an INET socket"
+        )
+    finally:
+        system.shutdown()
