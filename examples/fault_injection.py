@@ -9,6 +9,12 @@ messages, fatal signals and stalls — never as raw Python exceptions — and
 the whole run is reproducible from its seed: run the script twice and the
 fault logs are byte-identical.
 
+Chaos outcomes here are per-call and recoverable.  For the machine-level
+outcomes — ``FaultOutcome.panic()`` and ``FaultOutcome.power_loss()``,
+which crash the whole device and exercise journal replay, fsck and
+service re-supervision on reboot — see ``examples/crash_recovery.py``
+and the sweep harness ``repro.workloads.crashsweep``.
+
 Run:  PYTHONPATH=src python examples/fault_injection.py [seed]
 """
 

@@ -82,6 +82,18 @@ class Bionic:
     def unlink(self, path: str) -> int:
         return self._trap(nr.NR_unlink, path)
 
+    def rename(self, old_path: str, new_path: str) -> int:
+        return self._trap(nr.NR_rename, old_path, new_path)
+
+    def fsync(self, fd: int) -> int:
+        return self._trap(nr.NR_fsync, fd)
+
+    def fdatasync(self, fd: int) -> int:
+        return self._trap(nr.NR_fdatasync, fd)
+
+    def sync(self) -> int:
+        return self._trap(nr.NR_sync)
+
     def mkdir(self, path: str) -> int:
         return self._trap(nr.NR_mkdir, path)
 

@@ -11,11 +11,18 @@
 
 Each builder returns a :class:`System`, the public handle used by tests,
 examples and the benchmark harness.
+
+Crash–reboot support: builders pass ``durable=True`` to put a journaled
+block device under the VFS (:class:`repro.hw.storage.JournalDevice`) and
+always record a *rebuild recipe* — the builder's own userspace
+installation steps — so :meth:`System.reboot` can power-cycle the
+machine, reinstall the boot image, replay the journal, fsck, and restart
+the supervised services, emitting a byte-comparable recovery log.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..android.binaries import install_base_android
 from ..android.bionic import Bionic
@@ -38,6 +45,16 @@ class System:
         self.android = None
         #: Populated on Cider/iOS systems.
         self.ios = None
+        #: The builder's rebuild recipe (fresh kernel + userspace on the
+        #: same machine) and service starter — what :meth:`reboot` runs.
+        self._rebuild: Optional[Callable[["System"], None]] = None
+        self._start_services_fn: Optional[Callable[["System"], None]] = None
+        #: Extra installers (workload binaries, demo apps) re-run on
+        #: every boot — register with :meth:`add_boot_task`.
+        self.boot_tasks: List[Callable[["System"], None]] = []
+        #: The most recent reboot's artifacts.
+        self.recovery_log = None
+        self.fsck_report = None
 
     # -- running programs -----------------------------------------------------
 
@@ -59,6 +76,110 @@ class System:
     def shutdown(self) -> None:
         self.machine.shutdown()
 
+    # -- crash recovery --------------------------------------------------------
+
+    def add_boot_task(
+        self, task: Callable[["System"], None], run_now: bool = True
+    ) -> Callable[["System"], None]:
+        """Register an installer re-run on every (re)boot — the way
+        workloads keep their binaries present across reboots, exactly
+        like a package living on the system image.  Boot tasks run with
+        the journal suppressed: the files they install are part of the
+        boot image (untracked, ino 0), not user data."""
+        self.boot_tasks.append(task)
+        if run_now:
+            self._run_boot_task(task)
+        return task
+
+    def _run_boot_task(self, task: Callable[["System"], None]) -> None:
+        journal = self.machine.storage.journal
+        if journal is None:
+            task(self)
+            return
+        previous = journal.replaying
+        journal.replaying = True
+        try:
+            task(self)
+        finally:
+            journal.replaying = previous
+
+    def reboot(self, reason: str = "reboot"):
+        """Power-cycle the machine and bring the system back up.
+
+        Tears down every process and socket, reinstalls the boot image
+        (the builder's rebuild recipe plus registered boot tasks),
+        remounts the filesystem with journal replay, runs the fsck
+        invariant checker, restarts the supervised services, and returns
+        the byte-comparable :class:`~repro.kernel.recovery.RecoveryLog`
+        (also stored as ``self.recovery_log`` / ``self.fsck_report``).
+        """
+        from ..kernel.recovery import RecoveryLog, format_power_cut, run_fsck
+
+        if self._rebuild is None:
+            raise RuntimeError(
+                f"{self.label!r} was not built with a rebuild recipe; "
+                "reboot is unsupported on this configuration"
+            )
+        machine = self.machine
+        log = RecoveryLog()
+        info = machine.reboot(reason)
+        generation = info["generation"]
+        log.line(f"recovery: begin generation={generation} reason={reason}")
+        if info["was_crashed"]:
+            log.line(f"recovery: crash cause: {info['panic_reason']}")
+            if info["power_cut"] is not None:
+                log.line(format_power_cut(info["power_cut"]))
+        self.android = None
+        self.ios = None
+        # The rebuild recipe and the boot tasks reinstall the *boot
+        # image* — untracked by the journal (ino 0), exactly like the
+        # first boot where the journal is enabled only after userspace
+        # is installed.
+        self._run_boot_task(self._rebuild)
+        for task in self.boot_tasks:
+            self._run_boot_task(task)
+        journal = machine.storage.journal
+        fsck = None
+        if journal is not None:
+            stats = journal.remount(self.kernel.vfs)
+            if stats["emergency_pages"]:
+                machine.charge(
+                    "storage_flush_per_page", stats["emergency_pages"]
+                )
+            if stats["emergency_records"]:
+                machine.charge(
+                    "journal_commit_record", stats["emergency_records"]
+                )
+            if stats["records_replayed"]:
+                machine.charge(
+                    "remount_replay_record", stats["records_replayed"]
+                )
+            log.line(
+                f"recovery: remount: wrote back {stats['emergency_pages']} "
+                f"page(s) + {stats['emergency_records']} record(s), "
+                f"replayed {stats['records_replayed']} journal record(s)"
+            )
+            log.line(
+                f"recovery: remount: reclaimed {stats['orphan_blocks']} "
+                f"orphan block(s) from {stats['orphan_inodes']} inode(s); "
+                f"mounted {stats['files']} file(s), {stats['dirs']} dir(s)"
+            )
+            fsck = run_fsck(self.kernel)
+            for line in fsck.lines:
+                log.line(line)
+        else:
+            log.line("recovery: no durable storage; fresh filesystem")
+        if self._start_services_fn is not None:
+            self._start_services_fn(self)
+            log.line("recovery: supervised services restarted")
+        log.line(
+            f"recovery: complete generation={generation} "
+            f"state={machine.state}"
+        )
+        self.recovery_log = log
+        self.fsck_report = fsck
+        return log
+
     def __enter__(self) -> "System":
         return self
 
@@ -69,8 +190,9 @@ class System:
         return f"<System {self.label!r} on {self.machine.profile.name!r}>"
 
 
-def _boot_linux_kernel(profile: DeviceProfile, label: str) -> System:
-    machine = profile.boot()
+def _install_linux_userspace(machine: Machine) -> Kernel:
+    """Boot a Linux kernel + Android base userspace on ``machine`` — the
+    shared half of first boot and every reboot's rebuild recipe."""
     kernel = Kernel(machine, name="linux").boot()
     android_persona = Persona("android", LinuxABI(), ANDROID_TLS_LAYOUT)
     kernel.register_persona(android_persona, default=True)
@@ -83,6 +205,12 @@ def _boot_linux_kernel(profile: DeviceProfile, label: str) -> System:
 
     install_android_graphics_libs(kernel)
     machine.surfaceflinger = SurfaceFlinger(machine)
+    return kernel
+
+
+def _boot_linux_kernel(profile: DeviceProfile, label: str) -> System:
+    machine = profile.boot()
+    kernel = _install_linux_userspace(machine)
     return System(machine, kernel, label)
 
 
@@ -90,22 +218,36 @@ def build_vanilla_android(
     profile: Optional[DeviceProfile] = None,
     with_framework: bool = False,
     with_httpd: bool = False,
+    durable: bool = False,
 ) -> System:
     """Configuration 1: unmodified Android.
 
     ``with_httpd`` starts the in-sim HTTP origin (:mod:`repro.net.http`)
-    under Android-init style supervision.
+    under Android-init style supervision.  ``durable`` enables the
+    journaled block device (seeded from the profile) so the system
+    survives crash–reboot cycles with consistent storage.
     """
     system = _boot_linux_kernel(profile or nexus7(), "vanilla-android")
-    if with_framework:
-        from ..android.framework import boot_android_framework
 
-        system.android = boot_android_framework(system)
-    if with_httpd:
-        from ..net.http import start_httpd_android
+    def _rebuild(sys_: System) -> None:
+        sys_.kernel = _install_linux_userspace(sys_.machine)
 
-        start_httpd_android(system)
-        system.run_until_idle()  # let the origin reach its accept loop
+    def _services(sys_: System) -> None:
+        if with_framework:
+            from ..android.framework import boot_android_framework
+
+            sys_.android = boot_android_framework(sys_)
+        if with_httpd:
+            from ..net.http import start_httpd_android
+
+            start_httpd_android(sys_)
+            sys_.run_until_idle()  # let the origin reach its accept loop
+
+    system._rebuild = _rebuild
+    system._start_services_fn = _services
+    if durable:
+        system.machine.storage.enable_journal(system.machine.profile.seed)
+    _services(system)
     return system
 
 
@@ -118,6 +260,7 @@ def build_cider(
     launch_closures: bool = False,
     cow_fork: bool = False,
     with_httpd: bool = False,
+    durable: bool = False,
 ) -> System:
     """Configurations 2 and 3: the Cider kernel on the Nexus 7.
 
@@ -130,27 +273,64 @@ def build_cider(
     the paper's measured prototype.  ``with_httpd`` installs the in-sim
     HTTP origin as a launchd keep-alive job *before* launchd boots
     (:mod:`repro.net.http`), so both personas' clients can fetch from it.
+    ``durable`` puts the journaled block device under the VFS (enabled
+    after the boot image is installed, so only post-boot files are
+    journal-tracked); with it the system survives :meth:`System.reboot`
+    after a panic or power loss.
     """
     system = _boot_linux_kernel(profile or nexus7(), "cider")
-    if with_httpd:
-        from ..net.http import install_httpd_ios
 
-        install_httpd_ios(system)
-    from .enable import enable_cider
+    def _userspace(sys_: System) -> None:
+        if with_httpd:
+            from ..net.http import install_httpd_ios
 
-    enable_cider(
-        system,
-        fence_bug=fence_bug,
-        shared_cache=shared_cache,
-        dcache=dcache,
-        launch_closures=launch_closures,
-        cow_fork=cow_fork,
-    )
-    if with_framework:
-        from ..android.framework import boot_android_framework
+            install_httpd_ios(sys_)
+        from .enable import enable_cider
 
-        system.android = boot_android_framework(system)
+        enable_cider(
+            sys_,
+            fence_bug=fence_bug,
+            shared_cache=shared_cache,
+            start_services=False,
+            dcache=dcache,
+            launch_closures=launch_closures,
+            cow_fork=cow_fork,
+        )
+
+    def _rebuild(sys_: System) -> None:
+        sys_.kernel = _install_linux_userspace(sys_.machine)
+        _userspace(sys_)
+
+    def _services(sys_: System) -> None:
+        _start_ios_services(sys_)
+        if with_framework:
+            from ..android.framework import boot_android_framework
+
+            sys_.android = boot_android_framework(sys_)
+
+    _userspace(system)
+    system._rebuild = _rebuild
+    system._start_services_fn = _services
+    if durable:
+        system.machine.storage.enable_journal(system.machine.profile.seed)
+    _services(system)
     return system
+
+
+def _start_ios_services(system: System) -> None:
+    """Start launchd and run it to its steady state — the service half
+    of ``enable_cider``, shared with the reboot path."""
+    from ..kernel.pressure import JETSAM_PRIORITY_SYSTEM
+
+    runtime = system.ios
+    runtime.launchd = system.kernel.start_process(
+        "/sbin/launchd", name="launchd", daemon=True
+    )
+    # launchd sits in the SYSTEM jetsam band: never a pressure victim.
+    runtime.launchd.jetsam_priority = JETSAM_PRIORITY_SYSTEM
+    # Let launchd reach its steady state (bootstrap port published,
+    # configd/notifyd registered) before any app can run.
+    system.machine.run()
 
 
 def build_ipad_mini(with_springboard: bool = False) -> System:

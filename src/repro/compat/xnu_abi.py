@@ -45,6 +45,10 @@ SYS_open = 5
 SYS_close = 6
 SYS_wait4 = 7
 SYS_unlink = 10
+SYS_sync = 36
+SYS_rename = 128
+SYS_fsync = 95
+SYS_fdatasync = 187
 SYS_execve = 59
 SYS_getpid = 20
 SYS_recvfrom = 29
@@ -297,6 +301,13 @@ def _register_bsd(table: DispatchTable, native: bool) -> None:
     table.register(SYS_close, "close", linux.sys_close)
     table.register(SYS_wait4, "wait4", xnu_wait4)
     table.register(SYS_unlink, "unlink", linux.sys_unlink)
+    # The durable-storage sync family and rename are persona-agnostic VFS
+    # work: one shared kernel implementation, two trap numbers (PR 5
+    # pattern — the handler never looks at the calling convention).
+    table.register(SYS_rename, "rename", linux.sys_rename)
+    table.register(SYS_sync, "sync", linux.sys_sync)
+    table.register(SYS_fsync, "fsync", linux.sys_fsync)
+    table.register(SYS_fdatasync, "fdatasync", linux.sys_fdatasync)
     table.register(SYS_execve, "execve", linux.sys_execve)
     table.register(SYS_getpid, "getpid", linux.sys_getpid)
     table.register(SYS_accept, "accept", linux.sys_accept)

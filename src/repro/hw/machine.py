@@ -30,6 +30,10 @@ from .gpu import GPU
 from .storage import FlashStorage
 from .touchscreen import TouchScreen
 
+#: Machine lifecycle states (see :meth:`Machine.panic` / ``reboot``).
+MACHINE_RUNNING = "running"
+MACHINE_CRASHED = "crashed"
+
 
 class Machine:
     """One simulated device (a Nexus 7, an iPad mini, ...)."""
@@ -67,6 +71,16 @@ class Machine:
         #: allocates nothing — the same zero-cost-when-off contract as
         #: ``faults``/``obs``/``resources``.
         self._net = None
+        #: Crash state.  ``crashed`` is the hot-path bool (one test at
+        #: trap entry); set by :meth:`panic`, cleared by :meth:`reboot`.
+        self.crashed = False
+        self.state = MACHINE_RUNNING
+        self.panic_reason: Optional[str] = None
+        #: power_cut statistics from the most recent power-loss panic
+        #: (what the recovery log reports as lost vs survived).
+        self.power_cut_stats: Optional[dict] = None
+        #: Incremented by every :meth:`reboot`; 0 for the first boot.
+        self.boot_generation = 0
 
         self.cpu = CPU(profile.cpu_cores, profile.cpu_mhz)
         self.gpu = GPU(self, speed_factor=profile.gpu_speed_factor)
@@ -149,6 +163,66 @@ class Machine:
     def shutdown(self) -> None:
         """Kill all simulated threads and release their OS threads."""
         self.scheduler.shutdown()
+
+    # -- crash and reboot ------------------------------------------------------
+
+    def panic(self, reason: str, power_loss: bool = False) -> None:
+        """Take the whole machine down.  Never returns.
+
+        Moves the machine to the CRASHED state (every subsequent trap
+        raises), writes a kernel tombstone, and — for ``power_loss`` —
+        tells the durable storage device the lights went out *now*, so
+        dirty pages and uncommitted journal records are (seed-
+        deterministically, partially) lost.  A plain panic preserves RAM:
+        the reboot path writes surviving caches back before remounting.
+        Unwinds via :class:`repro.sim.errors.MachinePanic`.
+        """
+        from ..sim.errors import MachinePanic
+
+        if not self.crashed:
+            self.crashed = True
+            self.state = MACHINE_CRASHED
+            self.panic_reason = reason
+            if power_loss and self.storage.journal is not None:
+                self.power_cut_stats = self.storage.journal.power_cut()
+            kernel = getattr(self, "kernel", None)
+            if kernel is not None:
+                kernel.report_machine_panic(reason, power_loss=power_loss)
+            else:
+                self.emit("crash", "panic", reason=reason,
+                          power_loss=power_loss)
+        raise MachinePanic(reason)
+
+    def reboot(self, reason: str = "reboot") -> dict:
+        """Power-cycle the machine: kill every simulated thread, drop
+        volatile kernel-adjacent state (netstack, fault plan — chaos does
+        not survive a power cycle), and leave a clean scheduler ready for
+        the next boot's threads.  The caller (``System.reboot``) rebuilds
+        the kernel and user space and replays the storage journal; this
+        method only models the hardware power cycle.  Virtual time keeps
+        running — a reboot takes ``reboot_base`` ns of it.
+        """
+        info = {
+            "generation": self.boot_generation + 1,
+            "was_crashed": self.crashed,
+            "panic_reason": self.panic_reason,
+            "power_cut": self.power_cut_stats,
+        }
+        self.scheduler.shutdown()
+        self.scheduler.reopen()
+        self._net = None
+        self.faults = None
+        self.crashed = False
+        self.state = MACHINE_RUNNING
+        self.panic_reason = None
+        self.power_cut_stats = None
+        self.boot_generation += 1
+        self.charge("reboot_base")
+        self.emit(
+            "machine", "reboot",
+            generation=self.boot_generation, reason=reason,
+        )
+        return info
 
     # -- fault injection -------------------------------------------------------
 

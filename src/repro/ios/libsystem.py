@@ -89,6 +89,18 @@ class IOSLibc:
     def unlink(self, path: str) -> int:
         return self._bsd(xnu.SYS_unlink, path)
 
+    def rename(self, old_path: str, new_path: str) -> int:
+        return self._bsd(xnu.SYS_rename, old_path, new_path)
+
+    def fsync(self, fd: int) -> int:
+        return self._bsd(xnu.SYS_fsync, fd)
+
+    def fdatasync(self, fd: int) -> int:
+        return self._bsd(xnu.SYS_fdatasync, fd)
+
+    def sync(self) -> int:
+        return self._bsd(xnu.SYS_sync)
+
     def mkdir(self, path: str) -> int:
         return self._bsd(xnu.SYS_mkdir, path)
 

@@ -58,6 +58,14 @@ def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
         return 1
     libc.host_set_bootstrap_port(bootstrap_port)
     ctx.machine.emit("launchd", "bootstrap_ready")
+    if ctx.machine.boot_generation:
+        # Post-reboot boot: the supervisor is restarting every keep-alive
+        # job from scratch — the recovery log and the re-supervision
+        # tests key off this event.
+        ctx.machine.emit(
+            "launchd", "resupervise",
+            generation=ctx.machine.boot_generation,
+        )
 
     supervise = "--no-keepalive" not in argv
     # Keep-alive job table: the stock iOS daemons plus whatever the

@@ -94,6 +94,10 @@ class RegularHandle(OpenFile):
                 if res is not None:
                     res.release_storage(inode.storage_reserved)
                 inode.storage_reserved = 0
+            if inode.ino:
+                journal = machine.storage.journal
+                if journal is not None and not journal.replaying:
+                    journal.truncate(inode)
 
     def read(self, nbytes: int) -> bytes:
         if self.flags & O_WRONLY:
@@ -145,7 +149,15 @@ class RegularHandle(OpenFile):
         if end > len(self.inode.data):
             self.inode.data.extend(b"\x00" * (end - len(self.inode.data)))
         self.inode.data[self.offset : end] = data
-        self.offset = end
+        start, self.offset = self.offset, end
+        if data and self.inode.ino:
+            # Dirty-page bookkeeping only (RAM state; charges nothing):
+            # the bytes reach "flash" at fsync/fdatasync/sync time, or
+            # survive a power cut only if the seeded writeback got there.
+            journal = machine.storage.journal
+            if journal is not None:
+                journal.mark_dirty(self.inode, start, end)
+                journal.note_size(self.inode.ino, len(self.inode.data))
         return len(data)
 
     def lseek(self, offset: int, whence: int) -> int:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..persona import Persona, PersonaRegistry, UnknownPersonaError
 from ..sim import WaitQueue
+from ..sim.errors import MachinePanic
 from ..sim.faults import KIND_DELAY, KIND_ERRNO, KIND_SIGNAL, FaultOutcome
 from ..sim.trace import CRASH_CATEGORY
 from .crash import CrashReport
@@ -229,6 +230,11 @@ class Kernel:
 
     def _trap_body(self, thread: KThread, trapno: int, args: tuple) -> object:
         machine = self.machine
+        if machine.crashed:
+            # The machine is down: there is no kernel to trap into.  Every
+            # still-running simulated thread unwinds here; recovery is
+            # System.reboot().
+            raise MachinePanic(machine.panic_reason or "machine has crashed")
         clock = machine.clock
         # Entry (+ the extra persona checking and handling code Cider runs
         # on every entry) in one pre-summed, pre-rounded charge.
@@ -372,6 +378,36 @@ class Kernel:
             signum=signum,
             reason=reason,
             **detail,
+        )
+        return report
+
+    def report_machine_panic(
+        self, reason: str, power_loss: bool = False
+    ) -> CrashReport:
+        """The kernel tombstone for a whole-machine crash (pid 0).
+
+        Written by :meth:`repro.hw.machine.Machine.panic` before the
+        MachinePanic unwind begins, so the tombstone timestamps the exact
+        virtual instant the machine died.
+        """
+        report = CrashReport(
+            timestamp_ns=self.machine.now_ns,
+            pid=0,
+            name="kernel",
+            persona=self.name,
+            signum=0,
+            reason=reason,
+            detail={"power_loss": power_loss},
+        )
+        self.crash_reports.append(report)
+        self.machine.trace.emit(
+            self.machine.now_ns,
+            CRASH_CATEGORY,
+            "panic",
+            pid=0,
+            comm="kernel",
+            reason=reason,
+            power_loss=power_loss,
         )
         return report
 

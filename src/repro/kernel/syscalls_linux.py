@@ -45,7 +45,9 @@ NR_unlink = 10
 NR_execve = 11
 NR_lseek = 19
 NR_getpid = 20
+NR_sync = 36
 NR_kill = 37
+NR_rename = 38
 NR_mkdir = 39
 NR_rmdir = 40
 NR_dup = 41
@@ -54,6 +56,8 @@ NR_ioctl = 54
 NR_dup2 = 63
 NR_setrlimit = 75
 NR_getrlimit = 76
+NR_fsync = 118
+NR_fdatasync = 148
 NR_getppid = 64
 NR_sigaction = 67
 NR_getdents = 141
@@ -218,6 +222,68 @@ def sys_rmdir(kernel: "Kernel", thread: "KThread", path: str):
 
 def sys_unlink(kernel: "Kernel", thread: "KThread", path: str):
     kernel.vfs.unlink(path, thread.process.cwd)
+    return 0
+
+
+def sys_rename(kernel: "Kernel", thread: "KThread", old_path: str,
+               new_path: str):
+    kernel.vfs.rename(old_path, new_path, thread.process.cwd)
+    return 0
+
+
+def _charge_flush(machine, pages: int, records: int) -> None:
+    if pages:
+        machine.charge("storage_flush_per_page", pages)
+    if records:
+        machine.charge("journal_commit_record", records)
+
+
+def sys_fsync(kernel: "Kernel", thread: "KThread", fd: int):
+    """Shared by both personas (Linux NR 118 / XNU BSD trap 95).
+
+    Flushes the file's dirty pages and commits the metadata journal tail.
+    Without a journal device (or on an untracked boot-image file) it is a
+    barrier that costs ``fsync_base`` and succeeds — matching fsync on a
+    filesystem with nothing dirty.
+    """
+    handle = thread.process.fd_table.get(fd)
+    machine = kernel.machine
+    machine.charge("fsync_base")
+    journal = machine.storage.journal
+    inode = getattr(handle, "inode", None)
+    ino = getattr(inode, "ino", 0)
+    if journal is None or not ino:
+        return 0
+    with machine.span("kernel.vfs.journal", "fsync", ino=ino):
+        pages, records = journal.fsync(ino)
+        _charge_flush(machine, pages, records)
+    return 0
+
+
+def sys_fdatasync(kernel: "Kernel", thread: "KThread", fd: int):
+    handle = thread.process.fd_table.get(fd)
+    machine = kernel.machine
+    machine.charge("fdatasync_base")
+    journal = machine.storage.journal
+    inode = getattr(handle, "inode", None)
+    ino = getattr(inode, "ino", 0)
+    if journal is None or not ino:
+        return 0
+    with machine.span("kernel.vfs.journal", "fdatasync", ino=ino):
+        pages, records = journal.fdatasync(ino)
+        _charge_flush(machine, pages, records)
+    return 0
+
+
+def sys_sync(kernel: "Kernel", thread: "KThread"):
+    machine = kernel.machine
+    machine.charge("sync_base")
+    journal = machine.storage.journal
+    if journal is None:
+        return 0
+    with machine.span("kernel.vfs.journal", "sync"):
+        pages, records = journal.sync_all()
+        _charge_flush(machine, pages, records)
     return 0
 
 
@@ -503,6 +569,10 @@ def _register_all(table: DispatchTable) -> None:
     table.register(NR_close, "close", sys_close)
     table.register(NR_waitpid, "waitpid", sys_waitpid)
     table.register(NR_unlink, "unlink", sys_unlink)
+    table.register(NR_rename, "rename", sys_rename)
+    table.register(NR_sync, "sync", sys_sync)
+    table.register(NR_fsync, "fsync", sys_fsync)
+    table.register(NR_fdatasync, "fdatasync", sys_fdatasync)
     table.register(NR_execve, "execve", sys_execve)
     table.register(NR_lseek, "lseek", sys_lseek)
     table.register(NR_getpid, "getpid", sys_getpid)

@@ -41,10 +41,15 @@ class Inode:
 
     kind = "inode"
 
-    __slots__ = ("nlink",)
+    __slots__ = ("nlink", "ino")
 
     def __init__(self) -> None:
         self.nlink = 1
+        #: Durable identity on the journal device.  0 (the default) means
+        #: untracked: part of the boot image the reboot recipe recreates,
+        #: not the journal.  Files created while a journal is enabled get
+        #: a sequential non-zero ino.
+        self.ino = 0
 
     @property
     def size_bytes(self) -> int:
@@ -327,22 +332,45 @@ class VFS:
 
     # -- namespace operations ---------------------------------------------------
 
+    def _journal(self, path: str, cwd: Optional[Directory]):
+        """The journal device if this operation should be journalled:
+        a journal is enabled, we are not inside its own replay, and the
+        path is canonicalisable (absolute, or resolved against the root).
+        One attribute load + bool tests — charges nothing."""
+        journal = self._machine.storage.journal
+        if journal is None or journal.replaying:
+            return None
+        if not (path.startswith("/") or cwd is None):
+            return None
+        return journal
+
+    def _canon(self, path: str) -> str:
+        return "/" + "/".join(self.split(path))
+
     def mkdir(self, path: str, cwd: Optional[Directory] = None) -> Directory:
         parent, name = self.resolve_parent(path, cwd)
         directory = Directory()
         parent.link(name, directory)
+        journal = self._journal(path, cwd)
+        if journal is not None:
+            journal.log_mkdir(self._canon(path))
         return directory
 
     def makedirs(self, path: str) -> Directory:
         """mkdir -p."""
+        journal = self._journal(path, None)
         node: Inode = self.root
+        prefix: List[str] = []
         for part in self.split(path):
             if not isinstance(node, Directory):
                 raise SyscallError(ENOTDIR, path)
+            prefix.append(part)
             child = node.lookup(part)
             if child is None:
                 child = Directory()
                 node.link(part, child)
+                if journal is not None:
+                    journal.log_mkdir("/" + "/".join(prefix))
             node = child
         if not isinstance(node, Directory):
             raise SyscallError(ENOTDIR, path)
@@ -365,6 +393,9 @@ class VFS:
         self._machine.charge("file_create")
         inode = RegularFile(data, binary_image)
         parent.link(name, inode)
+        journal = self._journal(path, cwd)
+        if journal is not None:
+            journal.log_create(self._canon(path), inode)
         return inode
 
     def add_device(self, path: str, driver: object) -> DeviceNode:
@@ -390,6 +421,9 @@ class VFS:
         parent.unlink(name)
         if self.dcache_enabled:
             self.invalidate_dcache(path)
+        journal = self._journal(path, cwd)
+        if journal is not None:
+            journal.log_unlink(self._canon(path), target)
         reserved = getattr(target, "storage_reserved", 0)
         if reserved:
             res = self._machine.resources
@@ -409,6 +443,9 @@ class VFS:
         parent.unlink(name)
         if self.dcache_enabled:
             self.invalidate_dcache(path)
+        journal = self._journal(path, cwd)
+        if journal is not None:
+            journal.log_rmdir(self._canon(path))
 
     def rename(
         self,
@@ -449,6 +486,12 @@ class VFS:
         if self.dcache_enabled:
             self.invalidate_dcache(old_path)
             self.invalidate_dcache(new_path)
+        journal = self._journal(old_path, cwd)
+        if journal is not None and (new_path.startswith("/") or cwd is None):
+            journal.log_rename(
+                self._canon(old_path), self._canon(new_path),
+                replaced=existing,
+            )
 
     def listdir(self, path: str, cwd: Optional[Directory] = None) -> List[str]:
         node = self.resolve(path, cwd)

@@ -17,6 +17,7 @@ from .costs import DEFAULT_COSTS, CostModel, UnknownCostError
 from .errors import (
     ClockError,
     DeadlockError,
+    MachinePanic,
     SchedulerError,
     SimulationError,
     ThreadKilled,
@@ -66,6 +67,7 @@ __all__ = [
     "UnknownCostError",
     "ClockError",
     "DeadlockError",
+    "MachinePanic",
     "SchedulerError",
     "SimulationError",
     "ThreadKilled",

@@ -166,6 +166,25 @@ DEFAULT_COSTS: Dict[str, float] = {
     "mem_read_per_kb": 95.0,
     "mem_write_per_kb": 110.0,
 
+    # ---- Durable storage: journal, sync family, crash recovery -------------
+    # None of these is charged unless something actually syncs, reboots or
+    # fscks — enabling the journal alone preserves zero-cost-when-off.
+    # eMMC cache-flush barrier (CMD6 FLUSH_CACHE on 2013-era parts ≈ 1ms).
+    "fsync_base": 900_000.0,
+    "fdatasync_base": 700_000.0,
+    "sync_base": 1_200_000.0,
+    # Appending one metadata record to the on-flash journal.
+    "journal_commit_record": 5_000.0,
+    # Writing back one dirty 4KB page (storage_write_per_kb x 4 + overhead).
+    "storage_flush_per_page": 1_700.0,
+    # Firmware + kernel bring-up on reboot (the userspace re-install work
+    # charges itself through the ordinary cost names).
+    "reboot_base": 150_000_000.0,
+    # Replaying one committed journal record at remount.
+    "remount_replay_record": 8_000.0,
+    # fsck: checking one directory entry / inode.
+    "fsck_per_entry": 2_000.0,
+
     # ---- Mach IPC (duct-taped subsystem) ------------------------------------
     "mach_port_alloc": 1_500.0,
     "mach_msg_send": 2_200.0,

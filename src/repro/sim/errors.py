@@ -27,6 +27,22 @@ class ThreadKilled(BaseException):
     """
 
 
+class MachinePanic(BaseException):
+    """The whole simulated machine crashed (kernel panic or power loss).
+
+    Raised by :meth:`repro.hw.machine.Machine.panic` — either directly by
+    duct-taped kernel code or by a fault plan firing a
+    ``FaultOutcome.panic`` / ``FaultOutcome.power_loss`` outcome at any
+    injection point.  Derives from :class:`BaseException` (like
+    :class:`ThreadKilled`) so simulated user code catching ``Exception``
+    cannot swallow a machine-level failure; it unwinds the current
+    simulated thread and surfaces at the trap/scheduler boundary
+    (``Scheduler.run_until_done`` re-raises it to the driver).  Once the
+    machine is in the CRASHED state every further trap raises it again;
+    recovery is :meth:`repro.cider.system.System.reboot`.
+    """
+
+
 class ClockError(SimulationError):
     """Illegal use of the virtual clock (negative charge, bad deadline)."""
 

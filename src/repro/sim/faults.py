@@ -64,6 +64,12 @@ KIND_ERRNO = "errno"
 KIND_KERN = "kern"
 KIND_SIGNAL = "signal"
 KIND_DELAY = "delay"
+KIND_PANIC = "panic"
+KIND_POWER = "power_loss"
+
+_ALL_KINDS = (
+    KIND_ERRNO, KIND_KERN, KIND_SIGNAL, KIND_DELAY, KIND_PANIC, KIND_POWER,
+)
 
 
 class FaultOutcome:
@@ -75,12 +81,23 @@ class FaultOutcome:
     * ``kern``   — return a Mach kern_return / mach_msg_return code;
     * ``signal`` — deliver a (fatal) signal to the calling process;
     * ``delay``  — charge extra virtual time (a transient stall).
+
+    Two machine-level outcomes are interpreted by :meth:`FaultPlan.check`
+    itself (so they work at *every* injection point without per-site
+    support):
+
+    * ``panic``      — kernel panic: the machine moves to the CRASHED
+      state and :class:`repro.sim.errors.MachinePanic` unwinds the
+      current simulated thread;
+    * ``power_loss`` — panic plus sudden power cut: dirty pages and
+      uncommitted journal records on the durable storage device are
+      (partially, seed-determined) lost.
     """
 
     __slots__ = ("kind", "value")
 
     def __init__(self, kind: str, value: object) -> None:
-        if kind not in (KIND_ERRNO, KIND_KERN, KIND_SIGNAL, KIND_DELAY):
+        if kind not in _ALL_KINDS:
             raise ValueError(f"unknown fault outcome kind {kind!r}")
         self.kind = kind
         self.value = value
@@ -102,6 +119,14 @@ class FaultOutcome:
     @classmethod
     def delay(cls, delay_ns: float) -> "FaultOutcome":
         return cls(KIND_DELAY, delay_ns)
+
+    @classmethod
+    def panic(cls, reason: str = "injected panic") -> "FaultOutcome":
+        return cls(KIND_PANIC, reason)
+
+    @classmethod
+    def power_loss(cls, reason: str = "power loss") -> "FaultOutcome":
+        return cls(KIND_POWER, reason)
 
     def __repr__(self) -> str:
         return f"{self.kind}:{self.value}"
@@ -270,8 +295,22 @@ class FaultPlan:
                 continue
             rule.fires += 1
             self._record(now, point, rule, detail)
-            return rule.outcome
+            outcome = rule.outcome
+            if outcome.kind in (KIND_PANIC, KIND_POWER):
+                self._crash(point, outcome)
+            return outcome
         return None
+
+    def _crash(self, point: str, outcome: FaultOutcome) -> None:
+        """Machine-level outcomes are handled here so every injection
+        point — present and future — supports them without per-site code.
+        Never returns: unwinds via MachinePanic."""
+        from .errors import MachinePanic
+
+        reason = f"{outcome.value} at {point}"
+        if self._machine is not None:
+            self._machine.panic(reason, power_loss=outcome.kind == KIND_POWER)
+        raise MachinePanic(reason)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -329,11 +368,15 @@ class FaultPlan:
 
 
 def chaos_plan(seed: int, probability: float = 0.02) -> FaultPlan:
-    """A ready-made plan touching all six documented injection-point
-    families with transient, recoverable outcomes — the "seeded chaos run"
-    configuration used by ``examples/fault_injection.py`` and the
-    determinism suite.  Mach codes and errnos are imported lazily to keep
-    :mod:`repro.sim` OS-agnostic at import time.
+    """A ready-made plan covering every documented injection-point family
+    (``syscall``, ``mach``, ``diplomat``, ``dyld``, ``vfs``, ``mm``,
+    ``ipc``, ``net`` — see :data:`INJECTION_POINTS`) with transient,
+    recoverable outcomes — the "seeded chaos run" configuration used by
+    ``examples/fault_injection.py`` and the determinism suite.  Mach codes
+    and errnos are imported lazily to keep :mod:`repro.sim` OS-agnostic at
+    import time.  Machine-level outcomes (panic / power loss) are *not*
+    part of the chaos mix — see ``examples/crash_recovery.py`` and
+    :mod:`repro.workloads.crashsweep` for those.
     """
     from ..kernel import errno as _errno
     from ..xnu import ipc as _ipc
@@ -384,5 +427,27 @@ def chaos_plan(seed: int, probability: float = 0.02) -> FaultPlan:
         FaultOutcome.errno(_errno.ENOMEM),
         rule_id="chaos-mm",
         probability=probability / 4,
+    )
+    plan.rule(
+        "ipc.qfull",
+        FaultOutcome.kern(_ipc.MACH_SEND_TIMED_OUT),
+        rule_id="chaos-ipc-qfull",
+        probability=probability / 4,
+    )
+    plan.rule(
+        "net.connect",
+        # A transient handshake stall (delay), not ECONNREFUSED: chaos
+        # outcomes must stay recoverable so the workload still completes.
+        FaultOutcome.delay(2_000_000),
+        rule_id="chaos-net-connect",
+        probability=probability,
+    )
+    plan.rule(
+        "net.send",
+        # delay == "segment dropped": the stack logs a DROP line, pays the
+        # retransmission timeout, and (for TCP) sends again.
+        FaultOutcome.delay(1_000_000),
+        rule_id="chaos-net-send",
+        probability=probability,
     )
     return plan

@@ -511,6 +511,18 @@ class Scheduler:
         self._ready.clear()
         self._timers.clear()
 
+    def reopen(self) -> None:
+        """Accept new threads again after :meth:`shutdown`.
+
+        ``shutdown`` leaves the scheduler in a terminal mode where exiting
+        threads bypass the normal joiner handoff; a machine reboot tears
+        everything down with ``shutdown`` and then calls this before
+        spawning the next boot's threads.
+        """
+        if any(t.alive for t in self._threads):
+            raise SchedulerError("reopen with live threads")
+        self._shutdown = False
+
     # -- internals ---------------------------------------------------------
 
     def _arm_timer(self, thread: SimThread, delay_ns: float) -> _Timer:

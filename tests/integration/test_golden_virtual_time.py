@@ -37,3 +37,23 @@ def test_golden_workloads_never_build_the_netstack():
         )
     finally:
         system.shutdown()
+
+
+def test_durable_journal_is_zero_cost_when_not_syncing():
+    """Zero-cost-when-off for the crash-recovery subsystem: a durable
+    build (journal enabled, never syncing) must charge bit-identical
+    virtual time to a plain build for the golden two-persona launch.
+    Journal bookkeeping — dirty marking, tail appends — is free; only
+    fsync/fdatasync/sync, reboot, replay and fsck charge."""
+
+    def charged(durable):
+        system = build_cider(durable=durable)
+        try:
+            start = system.machine.clock.now_ps
+            assert system.run_program("/system/bin/hello") == 0
+            assert system.run_program("/bin/hello-ios") == 0
+            return system.machine.clock.now_ps - start
+        finally:
+            system.shutdown()
+
+    assert charged(durable=True) == charged(durable=False)

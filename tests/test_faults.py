@@ -303,3 +303,35 @@ def test_chaos_run_diverges_across_seeds():
     log_a, _, _ = _run_chaos(7)
     log_c, _, _ = _run_chaos(8)
     assert log_a != log_c
+
+
+def test_chaos_plan_covers_every_injection_point_family():
+    """Regression for the chaos-plan gap: every family in
+    INJECTION_POINTS (syscall, mach, diplomat, dyld, vfs, mm, ipc, net)
+    must be matched by at least one chaos rule, so new point families
+    cannot silently fall out of the chaos mix again."""
+    from repro.sim.faults import INJECTION_POINTS
+
+    plan = chaos_plan(seed=1)
+    families = {point.split(".")[0] for point in INJECTION_POINTS}
+    covered = set()
+    for family in families:
+        for point in INJECTION_POINTS:
+            if not point.startswith(family + "."):
+                continue
+            if any(rule._match_point(point) for rule in plan.rules):
+                covered.add(family)
+                break
+    assert covered == families, (
+        f"chaos_plan misses families: {sorted(families - covered)}"
+    )
+
+
+def test_chaos_net_rules_fire_and_stay_recoverable():
+    """The net.connect / net.send chaos rules are delays (transient
+    stalls), never hard errors — a chaos run must still complete."""
+    plan = chaos_plan(seed=3, probability=1.0)
+    by_id = {rule.rule_id: rule for rule in plan.rules}
+    assert by_id["chaos-net-connect"].outcome.kind == "delay"
+    assert by_id["chaos-net-send"].outcome.kind == "delay"
+    assert by_id["chaos-ipc-qfull"].outcome.kind == "kern"
