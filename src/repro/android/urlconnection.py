@@ -43,8 +43,17 @@ class HttpURLConnection:
         machine = ctx.machine
         machine.charge("native_op", 24)  # URL parse + connection object
         host, port, path = parse_url(self.url)
-        with machine.span("urlconnection.fetch", path, url=self.url):
-            status, body = http_get(ctx, host, path, port)
+        # Trace root: each connection fetch is a request entry point.
+        obs = machine.obs
+        causal = obs.causal if obs is not None else None
+        if causal is not None:
+            causal.begin_trace(f"fetch {path}")
+        try:
+            with machine.span("urlconnection.fetch", path, url=self.url):
+                status, body = http_get(ctx, host, path, port)
+        finally:
+            if causal is not None:
+                causal.end_trace()
         self.response_code = status
         self._body = body
         machine.emit(

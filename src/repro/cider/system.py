@@ -129,6 +129,26 @@ class System:
             log.line(f"recovery: crash cause: {info['panic_reason']}")
             if info["power_cut"] is not None:
                 log.line(format_power_cut(info["power_cut"]))
+            # The flight recorder's panic-flushed tail (pstore semantics:
+            # read once, then gone).  After a power cut the in-RAM ring is
+            # conceptually lost, but the panic handler journaled the same
+            # tail to the WAL device's pstore region — prefer whichever
+            # survived.
+            tail = None
+            if machine.flightrec is not None:
+                tail = machine.flightrec.consume_flushed()
+            journal_dev = machine.storage.journal
+            if journal_dev is not None:
+                if tail is None and journal_dev.pstore:
+                    tail = list(journal_dev.pstore)
+                journal_dev.pstore = []
+            if tail:
+                log.line(
+                    f"recovery: flight recorder: {len(tail)} "
+                    "pre-crash event(s)"
+                )
+                for entry in tail:
+                    log.line(f"recovery: flightrec: {entry}")
         self.android = None
         self.ios = None
         # The rebuild recipe and the boot tasks reinstall the *boot
@@ -141,19 +161,22 @@ class System:
         journal = machine.storage.journal
         fsck = None
         if journal is not None:
-            stats = journal.remount(self.kernel.vfs)
-            if stats["emergency_pages"]:
-                machine.charge(
-                    "storage_flush_per_page", stats["emergency_pages"]
-                )
-            if stats["emergency_records"]:
-                machine.charge(
-                    "journal_commit_record", stats["emergency_records"]
-                )
-            if stats["records_replayed"]:
-                machine.charge(
-                    "remount_replay_record", stats["records_replayed"]
-                )
+            with machine.span(
+                "kernel.recovery.replay", str(generation), reason=reason
+            ):
+                stats = journal.remount(self.kernel.vfs)
+                if stats["emergency_pages"]:
+                    machine.charge(
+                        "storage_flush_per_page", stats["emergency_pages"]
+                    )
+                if stats["emergency_records"]:
+                    machine.charge(
+                        "journal_commit_record", stats["emergency_records"]
+                    )
+                if stats["records_replayed"]:
+                    machine.charge(
+                        "remount_replay_record", stats["records_replayed"]
+                    )
             log.line(
                 f"recovery: remount: wrote back {stats['emergency_pages']} "
                 f"page(s) + {stats['emergency_records']} record(s), "
@@ -164,7 +187,8 @@ class System:
                 f"orphan block(s) from {stats['orphan_inodes']} inode(s); "
                 f"mounted {stats['files']} file(s), {stats['dirs']} dir(s)"
             )
-            fsck = run_fsck(self.kernel)
+            with machine.span("kernel.recovery.fsck", str(generation)):
+                fsck = run_fsck(self.kernel)
             for line in fsck.lines:
                 log.line(line)
         else:
@@ -188,6 +212,54 @@ class System:
 
     def __repr__(self) -> str:
         return f"<System {self.label!r} on {self.machine.profile.name!r}>"
+
+
+def run_world(systems: List["System"], thread) -> object:
+    """Drive several machines round-robin until ``thread`` completes.
+
+    ``Scheduler.run_until_done`` declares deadlock the moment its own
+    machine has nothing runnable — correct for one machine, wrong for a
+    world where the client legitimately idles while the origin machine
+    serves its request.  This driver drains each machine's ready work in
+    turn (cross-machine wakeups land directly on the peer scheduler's
+    ready queue); only when *no* machine can run does it fire the timer
+    with the least remaining virtual time, machine order breaking ties —
+    fully deterministic.
+    """
+    from ..sim.errors import DeadlockError, MachinePanic
+
+    machines = [system.machine for system in systems]
+    while thread.alive:
+        progress = False
+        for machine in machines:
+            if machine.scheduler.run_ready():
+                progress = True
+        if progress or not thread.alive:
+            continue
+        for machine in machines:
+            if machine.crashed:
+                raise MachinePanic(machine.panic_reason or "machine panic")
+        nearest = None
+        for machine in machines:
+            remaining = machine.scheduler.next_timer_deadline()
+            if remaining is None:
+                continue
+            if nearest is None or remaining < nearest[0]:
+                nearest = (remaining, machine)
+        if nearest is None:
+            dumps = "\n\n".join(
+                f"== {system.label} ==\n"
+                + system.machine.scheduler.thread_dump()
+                for system in systems
+            )
+            raise DeadlockError(
+                "every machine in the world is blocked; thread dumps:\n"
+                + dumps
+            )
+        nearest[1].scheduler.fire_next_timer()
+    if thread.failure is not None:
+        raise thread.failure
+    return thread.result
 
 
 def _install_linux_userspace(machine: Machine) -> Kernel:

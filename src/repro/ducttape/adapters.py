@@ -199,6 +199,18 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
         if obs is not None:
             obs.metrics.counter(name).inc(amount)
 
+    def causal_carrier(self) -> Optional[object]:
+        """Bind Mach-message trace headers to the host causal tracer."""
+        obs = self._machine.obs
+        if obs is None or obs.causal is None:
+            return None
+        return obs.causal.carrier()
+
+    def causal_adopt(self, carrier: object) -> None:
+        obs = self._machine.obs
+        if obs is not None and obs.causal is not None:
+            obs.causal.adopt(carrier)
+
     # -- resource pressure -------------------------------------------------------------------
 
     def pressure_level(self) -> str:

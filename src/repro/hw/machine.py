@@ -71,6 +71,14 @@ class Machine:
         #: allocates nothing — the same zero-cost-when-off contract as
         #: ``faults``/``obs``/``resources``.
         self._net = None
+        #: Override for the netstack's on-link address (set *before* the
+        #: first ``net`` access).  Lets a second machine join the same
+        #: 10.0.2.0/24 segment with a distinct host IP.
+        self.net_host_ip: Optional[str] = None
+        #: Flight recorder (repro.obs.flightrec): None on the fast path.
+        #: Deliberately NOT cleared by :meth:`reboot` — it models a
+        #: pstore/ramoops region whose whole point is surviving a crash.
+        self.flightrec = None
         #: Crash state.  ``crashed`` is the hot-path bool (one test at
         #: trap entry); set by :meth:`panic`, cleared by :meth:`reboot`.
         self.crashed = False
@@ -282,6 +290,32 @@ class Machine:
         self.clock.profiler = None
         self.scheduler.obs = None
 
+    def install_causal_tracer(self, node: Optional[str] = None):
+        """Attach a :class:`~repro.obs.causal.CausalTracer` to the
+        installed observatory (required).  ``node`` names this machine in
+        every id the tracer mints — give the two machines of a
+        cross-machine run distinct names."""
+        from ..obs.causal import CausalTracer
+
+        if self.obs is None:
+            raise RuntimeError(
+                "install an observatory before the causal tracer"
+            )
+        tracer = CausalTracer(self, node=node)
+        self.obs.causal = tracer
+        return tracer
+
+    def install_flight_recorder(self, capacity: Optional[int] = None):
+        """Attach a :class:`~repro.obs.flightrec.FlightRecorder` — the
+        crash-surviving ring the causal tracer feeds."""
+        from ..obs.flightrec import DEFAULT_CAPACITY, FlightRecorder
+
+        recorder = FlightRecorder(
+            capacity if capacity is not None else DEFAULT_CAPACITY
+        )
+        self.flightrec = recorder
+        return recorder
+
     def span(
         self, subsystem: str, name: str = "", **attrs: object
     ) -> Union[_SpanContext, NullSpan]:
@@ -304,9 +338,11 @@ class Machine:
         """
         stack = self._net
         if stack is None:
-            from ..net.netstack import NetStack
+            from ..net.netstack import DEFAULT_HOST_IP, NetStack
 
-            stack = self._net = NetStack(self)
+            stack = self._net = NetStack(
+                self, host_ip=self.net_host_ip or DEFAULT_HOST_IP
+            )
         return stack
 
     @property

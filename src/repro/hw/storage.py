@@ -117,6 +117,12 @@ class JournalDevice:
         self.media_journal: List[tuple] = []
         self.media_blocks: Dict[int, Dict[int, bytes]] = {}
         self.media_sizes: Dict[int, int] = {}
+        # -- pstore region --------------------------------------------------
+        # The flight-recorder tail journaled at panic time.  Like ramoops
+        # it sits outside the data path: a power cut destroys the volatile
+        # journal tail below but never this region (``power_cut`` does not
+        # touch it), so recovery can read the pre-crash event tail back.
+        self.pstore: List[str] = []
         # -- volatile state -------------------------------------------------
         self.tail: List[tuple] = []
         self.dirty: Dict[int, Set[int]] = {}

@@ -68,8 +68,17 @@ class NSURLSessionDataTask:
         machine.charge("native_op", 24)  # task state machine + URL parse
         host, port, path = parse_url(self.url)
         self.state = "running"
-        with machine.span("cfnetwork.fetch", path, url=self.url):
-            status, body = http_get(ctx, host, path, port)
+        # Trace root: a resumed task is a request entry point.
+        obs = machine.obs
+        causal = obs.causal if obs is not None else None
+        if causal is not None:
+            causal.begin_trace(f"fetch {path}")
+        try:
+            with machine.span("cfnetwork.fetch", path, url=self.url):
+                status, body = http_get(ctx, host, path, port)
+        finally:
+            if causal is not None:
+                causal.end_trace()
         if status < 0:
             self.error = f"NSURLErrorDomain errno={ctx.libc.errno}"
             status = -1

@@ -138,6 +138,11 @@ def launchd_main(ctx: "UserContext", argv: List[str]) -> int:
             restarts=count,
             backoff_ns=backoff_ns,
         )
+        # Causal follows-from edge: the respawn is a consequence of the
+        # trace that killed the service, but not part of that request.
+        obs = hctx.machine.obs
+        if obs is not None and obs.causal is not None:
+            obs.causal.follow(f"launchd respawn {path}")
         respawn_later(path, backoff_ns)
 
     libc.signal(XNU_SIGCHLD, sigchld_handler)

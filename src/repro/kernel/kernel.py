@@ -390,6 +390,17 @@ class Kernel:
         MachinePanic unwind begins, so the tombstone timestamps the exact
         virtual instant the machine died.
         """
+        detail: Dict[str, object] = {"power_loss": power_loss}
+        # Flush the flight recorder into the tombstone — and, when a WAL
+        # device is present, into its pstore region, which survives even
+        # the power cut that just destroyed the volatile journal tail.
+        recorder = self.machine.flightrec
+        if recorder is not None:
+            tail = recorder.flush(reason)
+            detail["flightrec_events"] = len(tail)
+            journal = self.machine.storage.journal
+            if journal is not None:
+                journal.pstore = list(tail)
         report = CrashReport(
             timestamp_ns=self.machine.now_ns,
             pid=0,
@@ -397,7 +408,7 @@ class Kernel:
             persona=self.name,
             signum=0,
             reason=reason,
-            detail={"power_loss": power_loss},
+            detail=detail,
         )
         self.crash_reports.append(report)
         self.machine.trace.emit(
@@ -503,6 +514,9 @@ class Kernel:
                 self._fatal_signal(process, signum)
             return
         info = SigInfo(signum, sender_pid)
+        obs = self.machine.obs
+        if obs is not None and obs.causal is not None:
+            info.causal = obs.causal.carrier()
         target = process.main_thread()
         current = self.current_kthread_or_none()
         if current is target:
@@ -541,6 +555,10 @@ class Kernel:
         if obs is None:
             self._deliver_one_body(thread, info, action)
             return
+        # Land the sender's causal context first so the deliver span (and
+        # everything the handler does) parents under the sending trace.
+        if obs.causal is not None and info.causal is not None:
+            obs.causal.adopt(info.causal)
         span = obs.enter_span(
             "kernel.signal.deliver", str(info.signum), None
         )

@@ -106,12 +106,16 @@ class _PressureDaemon:
         self.waitq.wake_all()
 
     def _run(self) -> None:
-        scheduler = self.kernel.machine.scheduler
+        machine = self.kernel.machine
+        scheduler = machine.scheduler
         while True:
             if not self._pending:
                 scheduler.block_on(self.waitq)
             self._pending = False
-            self.handle_episode()
+            with machine.span(
+                f"kernel.pressure.{self.name}", "episode"
+            ):
+                self.handle_episode()
 
     def _count(self, metric: str, amount: int = 1) -> None:
         obs = self.kernel.machine.obs
@@ -120,20 +124,24 @@ class _PressureDaemon:
 
     def _kill(self, process: "Process", reason: str, **detail: object) -> None:
         """Watchdog-pattern kill: tombstone, finalize, log."""
-        self.kernel.report_crash(
-            process, SIGKILL, reason, daemon=self.name, **detail
-        )
-        self.envelope.record_kill(
-            self.name,
-            process.pid,
-            process.name,
-            _persona_name(process),
-            reason,
-            process.address_space.total_bytes,
-            **detail,
-        )
-        process.dying = SIGKILL
-        self.kernel.processes.finalize_process(process, 128 + SIGKILL)
+        with self.kernel.machine.span(
+            f"kernel.pressure.{self.name}", "kill",
+            pid=process.pid, victim=process.name,
+        ):
+            self.kernel.report_crash(
+                process, SIGKILL, reason, daemon=self.name, **detail
+            )
+            self.envelope.record_kill(
+                self.name,
+                process.pid,
+                process.name,
+                _persona_name(process),
+                reason,
+                process.address_space.total_bytes,
+                **detail,
+            )
+            process.dying = SIGKILL
+            self.kernel.processes.finalize_process(process, 128 + SIGKILL)
 
     # -- subclass interface -------------------------------------------------------
 

@@ -511,7 +511,14 @@ class ProcessManager:
         parent_sim = thread.sim_thread
         daemon = bool(parent_sim is not None and parent_sim.daemon)
         self.attach_sim_thread(child_thread, body, daemon=daemon)
+        self._inherit_causal(parent_sim, child_thread.sim_thread)
         return child.pid
+
+    def _inherit_causal(self, parent_sim, child_sim) -> None:
+        """fork/posix_spawn: the child joins the parent's causal trace."""
+        obs = self.kernel.machine.obs
+        if obs is not None and obs.causal is not None and parent_sim is not None:
+            obs.causal.inherit(parent_sim, child_sim)
 
     def do_exec(self, thread: KThread, path: str, argv: List[str]) -> "NoReturn":  # type: ignore[name-defined]
         """execve(2): replace the image; never returns to the caller."""
@@ -547,6 +554,7 @@ class ProcessManager:
         parent_sim = thread.sim_thread
         daemon = bool(parent_sim is not None and parent_sim.daemon)
         self.attach_sim_thread(child_thread, body, daemon=daemon)
+        self._inherit_causal(parent_sim, child_thread.sim_thread)
         return child.pid
 
     def _check_nproc(self, parent: Process) -> None:

@@ -81,6 +81,9 @@ class SigInfo:
     signum: int
     sender_pid: int = 0
     code: int = 0
+    #: Causal-trace carrier (repro.obs.causal) from the sending thread,
+    #: adopted at delivery.  Metadata only — no ABI surface, no cost.
+    causal: object = None
 
 
 @dataclass

@@ -43,6 +43,9 @@ class _Stream:
         self.buffer = bytearray()
         self.open = True
         self.waitq = WaitQueue("unix-stream")
+        #: Causal carrier (repro.obs.causal) riding as metadata: set by
+        #: the last traced write, consumed by the next read.
+        self.carrier = None
 
 
 class UnixConnection:
@@ -112,6 +115,11 @@ class UnixSocket(OpenFile):
         self.machine.charge("sock_transfer")
         data = bytes(self._rx.buffer[:nbytes])
         del self._rx.buffer[: len(data)]
+        carrier, self._rx.carrier = self._rx.carrier, None
+        if carrier is not None:
+            obs = self.machine.obs
+            if obs is not None and obs.causal is not None:
+                obs.causal.adopt(carrier)
         self._rx.waitq.wake_all()  # writers blocked on backpressure
         return data
 
@@ -128,6 +136,11 @@ class UnixSocket(OpenFile):
             if not self._tx.open:
                 raise SyscallError(EPIPE, "peer closed")
         self.machine.charge("sock_transfer")
+        obs = self.machine.obs
+        if obs is not None and obs.causal is not None:
+            carrier = obs.causal.carrier()
+            if carrier is not None:
+                self._tx.carrier = carrier
         self._tx.buffer.extend(data)
         self._tx.waitq.wake_all()  # readers blocked on empty
         return len(data)

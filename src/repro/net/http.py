@@ -249,6 +249,11 @@ def supervisor_main(
         result = libc.waitpid(pid)
         code = result[1] if isinstance(result, tuple) else -1
         machine.emit("svc", "exited", service=name, pid=pid, code=code)
+        # Causal follows-from edge: the respawn descends from whatever
+        # trace caused the exit without re-joining that request.
+        obs = machine.obs
+        if obs is not None and obs.causal is not None:
+            obs.causal.follow(f"svc respawn {name}")
         restarts += 1
         if restarts > SVC_RESTART_LIMIT:
             machine.emit("svc", "throttled", service=name, restarts=restarts)

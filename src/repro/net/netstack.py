@@ -86,6 +86,9 @@ class NetStack:
         self.tcp_ports: Dict[Tuple[str, int], "TCPListener"] = {}
         #: (ip, port) -> INetSocket for bound datagram sockets.
         self.udp_ports: Dict[Tuple[str, int], "INetSocket"] = {}
+        #: host_ip -> peer NetStack on the same segment (cross-machine
+        #: networking; see :meth:`connect_peer`).
+        self.peers: Dict[str, "NetStack"] = {}
         self._ephemeral = EPHEMERAL_BASE
         #: Byte-comparable transmission record: one line per segment
         #: flight (and one per injected drop).  Determinism contract:
@@ -112,6 +115,28 @@ class NetStack:
         """Zone lookup (used by the DNS responder; libc-level
         ``getaddrinfo`` goes through real UDP datagrams to 10.0.2.3)."""
         return self.hosts.get(name)
+
+    def connect_peer(self, other: "NetStack") -> None:
+        """Join two machines' stacks on one segment (both directions):
+        each routes the other's host address over its own wlan0 NIC.
+        Give the machines distinct ``Machine.net_host_ip`` first."""
+        if other.host_ip == self.host_ip:
+            raise ValueError(
+                f"peer machines share host ip {self.host_ip}; set "
+                "Machine.net_host_ip before first net access"
+            )
+        self._routes[other.host_ip] = self.links["wlan0"]
+        other._routes[self.host_ip] = other.links["wlan0"]
+        self.peers[other.host_ip] = other
+        other.peers[self.host_ip] = self
+
+    def stack_for(self, ip: str) -> "NetStack":
+        """The stack owning ``ip``: this one for local addresses, the
+        peer's for a connected machine's address (sockets use this to
+        build server endpoints on the *listener's* machine)."""
+        if self.is_local(ip):
+            return self
+        return self.peers.get(ip, self)
 
     # -- routing ------------------------------------------------------------
 

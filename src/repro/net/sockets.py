@@ -101,7 +101,7 @@ Addr = Tuple[str, int]
 class _NetStream:
     """One direction of a TCP connection."""
 
-    __slots__ = ("buffer", "open", "waitq", "unacked")
+    __slots__ = ("buffer", "open", "waitq", "unacked", "carrier")
 
     def __init__(self) -> None:
         self.buffer = bytearray()
@@ -109,6 +109,10 @@ class _NetStream:
         self.waitq = WaitQueue("inet-stream")
         #: Bytes sent since the window model last charged an ACK RTT.
         self.unacked = 0
+        #: Causal carrier riding in segment metadata (repro.obs.causal):
+        #: set by the last traced write, consumed by the next read.
+        #: Pure metadata — never serialised, never charged.
+        self.carrier = None
 
 
 class TCPConnection:
@@ -159,8 +163,9 @@ class INetSocket(OpenFile):
         self.options: dict = {}
         self.shut_rd = False
         self.shut_wr = False
-        #: Datagram receive queue: (payload, source address) pairs.
-        self._dgrams: Deque[Tuple[bytes, Addr]] = deque()
+        #: Datagram receive queue: (payload, source address, causal
+        #: carrier) triples — the carrier is packet metadata, never data.
+        self._dgrams: Deque[Tuple[bytes, Addr, object]] = deque()
         self._dgram_waitq = WaitQueue("inet-dgram")
         if sock_type == SOCK_DGRAM:
             self.read_waitq = self._dgram_waitq
@@ -272,7 +277,12 @@ class INetSocket(OpenFile):
                     )
                 else:
                     raise SyscallError(ETIMEDOUT, "fault injected: connect")
-        listener = self.stack.lookup_tcp(dst_ip, dst_port)
+        # The listening socket may live on a peer machine reached over
+        # the segment (NetStack.connect_peer); the server endpoint must
+        # be built on the *listener's* machine so its reads/writes charge
+        # that machine's clock and RAM envelope.
+        remote = self.stack.stack_for(dst_ip)
+        listener = remote.lookup_tcp(dst_ip, dst_port)
         if not isinstance(listener, TCPListener) or listener.closed:
             # Nothing there, or a bound-but-not-listening placeholder.
             raise SyscallError(ECONNREFUSED, f"{dst_ip}:{dst_port}")
@@ -291,7 +301,7 @@ class INetSocket(OpenFile):
         connection = TCPConnection(link, src, dst)
         self._attach(connection, client_side=True)
         self.peer = dst
-        server_end = INetSocket(machine, SOCK_STREAM)
+        server_end = INetSocket(remote.machine, SOCK_STREAM)
         server_end.local = dst
         server_end.peer = src
         server_end._attach(connection, client_side=False)
@@ -436,6 +446,11 @@ class INetSocket(OpenFile):
         if stalls:
             self.machine.charge_ns(stalls * 2 * link.latency_ns)
             tx.unacked -= stalls * TCP_WINDOW
+        obs = self.machine.obs
+        if obs is not None and obs.causal is not None:
+            carrier = obs.causal.carrier()
+            if carrier is not None:
+                tx.carrier = carrier
         tx.buffer.extend(data)
         tx.waitq.wake_all()  # readers blocked on empty
         return len(data)
@@ -458,6 +473,11 @@ class INetSocket(OpenFile):
         data = bytes(rx.buffer[:nbytes])
         del rx.buffer[: len(data)]
         self._charge_rx(connection.link, len(data), "TCP")
+        carrier, rx.carrier = rx.carrier, None
+        if carrier is not None:
+            obs = self.machine.obs
+            if obs is not None and obs.causal is not None:
+                obs.causal.adopt(carrier)
         rx.waitq.wake_all()  # writers blocked on backpressure
         return data
 
@@ -480,7 +500,7 @@ class INetSocket(OpenFile):
         if dst == (DNS_SERVER_IP, DNS_PORT):
             self._dns_respond(bytes(data), src, link)
             return len(data)
-        target = self.stack.lookup_udp(dst[0], dst[1])
+        target = self.stack.stack_for(dst[0]).lookup_udp(dst[0], dst[1])
         if target is None:
             # No listener: the datagram evaporates (logged).
             self.stack.log_segment("UDP", dst, src, 0, flag="UNREACH")
@@ -489,7 +509,11 @@ class INetSocket(OpenFile):
             self.stack.log_segment("UDP", src, dst, len(data), flag="QFULL")
             self.stack.drops += 1
             return len(data)
-        target._dgrams.append((bytes(data), src))
+        carrier = None
+        obs = self.machine.obs
+        if obs is not None and obs.causal is not None:
+            carrier = obs.causal.carrier()
+        target._dgrams.append((bytes(data), src, carrier))
         target._dgram_waitq.wake_all()
         return len(data)
 
@@ -502,9 +526,13 @@ class INetSocket(OpenFile):
             if self._nonblock():
                 raise SyscallError(EAGAIN, "no datagram queued")
             self._kernel().wait_interruptible(self._dgram_waitq)
-        data, src = self._dgrams.popleft()
+        data, src, carrier = self._dgrams.popleft()
         link = self.stack.route(src[0]) if src[0] != WILDCARD_IP else self.stack.links["lo"]
         self._charge_rx(link, len(data), "UDP")
+        if carrier is not None:
+            obs = self.machine.obs
+            if obs is not None and obs.causal is not None:
+                obs.causal.adopt(carrier)
         return data[:nbytes], src
 
     # -- the deterministic stub resolver -------------------------------------
@@ -524,7 +552,7 @@ class INetSocket(OpenFile):
         server = (DNS_SERVER_IP, DNS_PORT)
         self.machine.charge_ns(link.latency_ns)  # reply propagation
         stack.log_segment("UDP", server, client, len(answer), flag="DNS")
-        self._dgrams.append((answer, server))
+        self._dgrams.append((answer, server, None))
         self._dgram_waitq.wake_all()
 
     # -- teardown -------------------------------------------------------------

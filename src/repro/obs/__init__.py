@@ -14,6 +14,18 @@ virtual clock — enabling observability cannot perturb measured virtual
 time (see ``tests/test_obs.py::TestZeroCostWhenOff``).
 """
 
+from .causal import CausalContext, CausalTracer
+from .diff import (
+    assemble_trace,
+    critical_path,
+    format_critical_path,
+    format_diff_report,
+    load_trace,
+    save_trace,
+    trace_diff,
+    trace_ids,
+)
+from .flightrec import FlightRecorder
 from .metrics import (
     Counter,
     DEFAULT_BUCKET_BOUNDS_NS,
@@ -26,14 +38,30 @@ from .profiler import FlameNode, Profiler, SubsystemStat, UNATTRIBUTED
 from .spans import NULL_SPAN, NullSpan, Span
 from .exporters import (
     chrome_trace,
+    chrome_trace_world,
     histogram_report,
     text_report,
     validate_chrome_trace,
     write_chrome_trace,
+    write_chrome_trace_world,
 )
-from .report import format_summary, run_summary, write_summary
+from .report import artifact_summary, format_summary, run_summary, write_summary
 
 __all__ = [
+    "CausalContext",
+    "CausalTracer",
+    "FlightRecorder",
+    "assemble_trace",
+    "critical_path",
+    "format_critical_path",
+    "format_diff_report",
+    "load_trace",
+    "save_trace",
+    "trace_diff",
+    "trace_ids",
+    "chrome_trace_world",
+    "write_chrome_trace_world",
+    "artifact_summary",
     "Counter",
     "DEFAULT_BUCKET_BOUNDS_NS",
     "Gauge",

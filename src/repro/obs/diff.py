@@ -1,0 +1,330 @@
+"""Offline causal-trace analysis: assembly, critical paths, trace diff.
+
+A *trace artifact* is the merge of every machine's
+:class:`~repro.obs.causal.CausalTracer` output into one JSON-friendly
+dict (``repro-trace-v1``): the participating machines, every closed
+causal span (plus still-open spans from panicked machines, flagged
+``aborted``), and the flow/inherit/follow edge events.  Artifacts are
+pure data — save one with :func:`save_trace` and every analysis here
+(and the ``python -m repro.obs.report`` CLI) can be re-run later without
+re-running the simulation.
+
+Two analyses matter for the paper's methodology:
+
+* :func:`critical_path` — descend the span tree of one trace always
+  taking the most expensive child, yielding the exact self/total
+  picosecond breakdown of the request's latency plus a per-machine
+  *translation* bucket (diplomacy calls, the XNU compatibility layer,
+  foreign-persona traps) versus everything else.
+
+* :func:`trace_diff` — align two artifacts' span trees by *path
+  signature* (the machine-qualified ``subsystem:name`` chain from the
+  root) and attribute every virtual-picosecond of difference to the
+  paths that moved.  The rendered report is deterministic and
+  byte-comparable, so CI can gate on "zero virtual-ns drift between two
+  runs" by literal file comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.clock import PSEC_PER_NSEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+
+TRACE_FORMAT = "repro-trace-v1"
+
+#: Span subsystems counted as cross-persona translation overhead: the
+#: diplomat arbitration path and the XNU compatibility layer (Mach IPC,
+#: BSD veneers) that Cider adds on top of the domestic kernel.
+_TRANSLATION_PREFIXES = ("diplomacy", "xnu.")
+
+
+def _is_translation(subsystem: str, name: str) -> bool:
+    if subsystem.startswith(_TRANSLATION_PREFIXES):
+        return True
+    # Foreign-persona traps are translated at the kernel boundary.
+    return subsystem == "kernel.trap" and name == "xnu"
+
+
+# ---------------------------------------------------------------------------
+# Assembly and (de)serialisation.
+# ---------------------------------------------------------------------------
+
+
+def assemble_trace(
+    machines: Iterable["Machine"], label: str = "run"
+) -> Dict[str, object]:
+    """Merge every machine's causal tracer into one trace artifact.
+
+    Span rows sort by ``(trace, span)`` — ids are zero-padded counters,
+    so lexicographic order is mint order and the merge is deterministic
+    regardless of machine interleaving.  Events keep per-machine
+    emission order, merged by ``(ts_ps, machine, index)``.
+    """
+    machine_rows: List[Dict[str, object]] = []
+    spans: List[Dict[str, object]] = []
+    events: List[Tuple[int, str, int, Dict[str, object]]] = []
+    for machine in machines:
+        obs = machine.obs
+        tracer = obs.causal if obs is not None else None
+        if tracer is None:
+            raise ValueError(
+                f"machine {machine.profile.name!r} has no causal tracer"
+            )
+        machine_rows.append(
+            {
+                "node": tracer.node,
+                "profile": machine.profile.name,
+                "charged_ps": machine.clock.charged_ps,
+                "crashed": machine.crashed,
+            }
+        )
+        spans.extend(tracer.spans)
+        spans.extend(tracer.aborted_rows())
+        for index, event in enumerate(tracer.events):
+            events.append((int(event["ts_ps"]), tracer.node, index, event))
+    machine_rows.sort(key=lambda row: row["node"])
+    spans.sort(key=lambda row: (row["trace"], row["span"]))
+    events.sort(key=lambda entry: entry[:3])
+    return {
+        "format": TRACE_FORMAT,
+        "label": label,
+        "machines": machine_rows,
+        "spans": spans,
+        "events": [entry[3] for entry in events],
+    }
+
+
+def save_trace(trace: Dict[str, object], path: str) -> None:
+    """Stable (sorted-key) JSON dump: same trace ⇒ same bytes."""
+    with open(path, "w") as fh:
+        json.dump(trace, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        trace = json.load(fh)
+    if trace.get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path}: not a {TRACE_FORMAT} artifact")
+    return trace
+
+
+def trace_ids(trace: Dict[str, object]) -> List[str]:
+    """Distinct trace ids in the artifact, sorted (mint order)."""
+    return sorted({row["trace"] for row in trace["spans"]})
+
+
+# ---------------------------------------------------------------------------
+# Critical path.
+# ---------------------------------------------------------------------------
+
+
+def critical_path(
+    trace: Dict[str, object], trace_id: Optional[str] = None
+) -> Dict[str, object]:
+    """The most-expensive root-to-leaf chain of one trace.
+
+    At every node the walk descends into the child with the largest
+    ``total_ps`` (ties broken by span id, i.e. mint order), so the sum
+    of ``self_ps`` along the path plus the heaviest leaf's children is
+    exactly the root's ``total_ps`` decomposition the paper plots.
+    """
+    if trace_id is None:
+        ids = trace_ids(trace)
+        if not ids:
+            raise ValueError("trace artifact contains no causal spans")
+        trace_id = ids[0]
+    rows = [row for row in trace["spans"] if row["trace"] == trace_id]
+    if not rows:
+        raise ValueError(f"no spans for trace {trace_id!r}")
+    by_id = {row["span"]: row for row in rows}
+    children: Dict[object, List[Dict[str, object]]] = {}
+    roots: List[Dict[str, object]] = []
+    for row in rows:
+        parent = row["parent"]
+        if parent is None or parent not in by_id:
+            roots.append(row)
+        else:
+            children.setdefault(parent, []).append(row)
+    roots.sort(key=lambda row: row["span"])
+    root = roots[0]
+
+    path: List[Dict[str, object]] = []
+    node: Optional[Dict[str, object]] = root
+    while node is not None:
+        path.append(
+            {
+                "machine": node["machine"],
+                "span": node["span"],
+                "name": f"{node['subsystem']}:{node['name']}"
+                if node["name"]
+                else node["subsystem"],
+                "thread": node["thread"],
+                "self_ps": node["self_ps"],
+                "total_ps": node["total_ps"],
+                "aborted": bool(node.get("aborted")),
+            }
+        )
+        kids = children.get(node["span"], [])
+        kids.sort(key=lambda row: (-int(row["total_ps"]), row["span"]))
+        node = kids[0] if kids else None
+
+    translation: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        bucket = translation.setdefault(
+            row["machine"], {"translation_ps": 0, "other_ps": 0}
+        )
+        key = (
+            "translation_ps"
+            if _is_translation(str(row["subsystem"]), str(row["name"]))
+            else "other_ps"
+        )
+        bucket[key] += int(row["self_ps"])
+
+    return {
+        "trace": trace_id,
+        "root": root["span"],
+        "root_total_ps": root["total_ps"],
+        "path": path,
+        "path_self_ps": sum(int(step["self_ps"]) for step in path),
+        "translation": translation,
+    }
+
+
+def format_critical_path(cp: Dict[str, object]) -> str:
+    """Deterministic text rendering of a :func:`critical_path` result."""
+    lines: List[str] = []
+    lines.append(f"# critical path: trace {cp['trace']}")
+    lines.append(
+        f"# root total {cp['root_total_ps']} ps "
+        f"({int(cp['root_total_ps']) / PSEC_PER_NSEC:.0f} ns)"
+    )
+    lines.append(f"{'SELF ps':>14} {'TOTAL ps':>14}  MACHINE  SPAN")
+    for depth, step in enumerate(cp["path"]):
+        marker = " [aborted]" if step["aborted"] else ""
+        lines.append(
+            f"{step['self_ps']:>14} {step['total_ps']:>14}  "
+            f"{step['machine']:<8} {'  ' * depth}{step['name']}{marker}"
+        )
+    lines.append(f"# path self sum: {cp['path_self_ps']} ps")
+    translation = cp["translation"]
+    for machine in sorted(translation):
+        bucket = translation[machine]
+        total = bucket["translation_ps"] + bucket["other_ps"]
+        pct = 100.0 * bucket["translation_ps"] / total if total else 0.0
+        lines.append(
+            f"# {machine}: translation {bucket['translation_ps']} ps / "
+            f"{total} ps self ({pct:.2f}%)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Trace diff.
+# ---------------------------------------------------------------------------
+
+
+def _path_signatures(trace: Dict[str, object]) -> Dict[str, List[int]]:
+    """Aggregate spans by machine-qualified root-to-span name chain.
+
+    Returns ``signature -> [count, self_ps, total_ps]``.  Summing
+    ``self_ps`` over all signatures of a trace equals the root's
+    ``total_ps``, so signature-level self deltas attribute a whole-trace
+    delta exactly.
+    """
+    by_id = {row["span"]: row for row in trace["spans"]}
+    signatures: Dict[str, List[int]] = {}
+
+    def segment(row: Dict[str, object]) -> str:
+        name = f"{row['subsystem']}:{row['name']}" if row["name"] else row["subsystem"]
+        return f"{row['machine']}/{name}"
+
+    cache: Dict[object, str] = {}
+
+    def signature(row: Dict[str, object]) -> str:
+        span_id = row["span"]
+        if span_id in cache:
+            return cache[span_id]
+        parent = row["parent"]
+        if parent is not None and parent in by_id:
+            sig = signature(by_id[parent]) + " > " + segment(row)
+        else:
+            sig = segment(row)
+        cache[span_id] = sig
+        return sig
+
+    for row in trace["spans"]:
+        entry = signatures.setdefault(signature(row), [0, 0, 0])
+        entry[0] += 1
+        entry[1] += int(row["self_ps"])
+        entry[2] += int(row["total_ps"])
+    return signatures
+
+
+def trace_diff(
+    a: Dict[str, object], b: Dict[str, object]
+) -> Dict[str, object]:
+    """Attribute the virtual-time delta between two artifacts to span-tree
+    paths.  ``drift_ps`` is the sum of absolute self-time deltas (plus
+    everything on unmatched paths), so it is zero iff the two runs spent
+    identical virtual time everywhere."""
+    sig_a = _path_signatures(a)
+    sig_b = _path_signatures(b)
+    rows: List[Dict[str, object]] = []
+    drift_ps = 0
+    for sig in sorted(set(sig_a) | set(sig_b)):
+        count_a, self_a, total_a = sig_a.get(sig, [0, 0, 0])
+        count_b, self_b, total_b = sig_b.get(sig, [0, 0, 0])
+        delta_self = self_b - self_a
+        if count_a == count_b and delta_self == 0 and total_a == total_b:
+            continue
+        drift_ps += abs(delta_self)
+        rows.append(
+            {
+                "path": sig,
+                "count_a": count_a,
+                "count_b": count_b,
+                "self_ps_a": self_a,
+                "self_ps_b": self_b,
+                "delta_self_ps": delta_self,
+            }
+        )
+    rows.sort(key=lambda row: (-abs(int(row["delta_self_ps"])), row["path"]))
+    return {
+        "label_a": a.get("label", "a"),
+        "label_b": b.get("label", "b"),
+        "paths_a": len(sig_a),
+        "paths_b": len(sig_b),
+        "changed": rows,
+        "drift_ps": drift_ps,
+    }
+
+
+def format_diff_report(diff: Dict[str, object]) -> str:
+    """Byte-comparable text report for a :func:`trace_diff` result.
+
+    The trailing sha256 digest covers every preceding byte, so CI can
+    compare reports (or just digests) across runs and against the
+    committed baseline.
+    """
+    lines: List[str] = []
+    lines.append("# trace diff report (repro.obs.diff)")
+    lines.append(f"# a: {diff['label_a']} ({diff['paths_a']} span paths)")
+    lines.append(f"# b: {diff['label_b']} ({diff['paths_b']} span paths)")
+    lines.append(f"drift_ps {diff['drift_ps']}")
+    lines.append(f"changed_paths {len(diff['changed'])}")
+    for row in diff["changed"]:
+        lines.append(
+            f"{row['delta_self_ps']:+d} ps "
+            f"(a self {row['self_ps_a']} x{row['count_a']}, "
+            f"b self {row['self_ps_b']} x{row['count_b']}) {row['path']}"
+        )
+    body = "\n".join(lines) + "\n"
+    digest = hashlib.sha256(body.encode()).hexdigest()
+    return body + f"# sha256 {digest}\n"

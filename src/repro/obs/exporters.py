@@ -23,16 +23,20 @@ from .profiler import UNATTRIBUTED
 _PS_PER_USEC = PSEC_PER_NSEC * 1_000
 
 
-def chrome_trace(
-    obs: Observatory, process_name: str = "cider-sim"
-) -> Dict[str, object]:
-    """The trace as a Chrome trace-event JSON object (ready to dump)."""
+def _machine_events(
+    obs: Observatory,
+    pid: int,
+    process_name: str,
+    aborted: bool = False,
+    with_flows: bool = False,
+) -> List[Dict[str, object]]:
+    """One machine's worth of trace events under process id ``pid``."""
     events: List[Dict[str, object]] = []
     seen_tids: Dict[int, str] = {}
     events.append(
         {
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "tid": 0,
             "name": "process_name",
             "args": {"name": process_name},
@@ -40,13 +44,13 @@ def chrome_trace(
     )
     all_events = list(obs.span_events)
     # Balance spans still open (daemon loops blocked in receive, etc.).
-    all_events.extend(obs.pending_close_events())
+    all_events.extend(obs.pending_close_events(aborted=aborted))
     for phase, now_ps, tid, thread_name, subsystem, name, attrs in all_events:
         if tid not in seen_tids:
             seen_tids[tid] = thread_name
         record: Dict[str, object] = {
             "ph": phase,
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "ts": now_ps / _PS_PER_USEC,  # microseconds, exact ps / 1e6
         }
@@ -55,23 +59,87 @@ def chrome_trace(
             record["cat"] = subsystem
             if attrs:
                 record["args"] = {k: _jsonable(v) for k, v in attrs.items()}
+        elif attrs:
+            # E events carry args too (Chrome merges them with the B
+            # args) — how the ``aborted`` flag from a panicked machine
+            # survives into the exported file.
+            record["args"] = {k: _jsonable(v) for k, v in attrs.items()}
         events.append(record)
     for tid in sorted(seen_tids):
         events.append(
             {
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "name": "thread_name",
                 "args": {"name": seen_tids[tid]},
             }
         )
+    if with_flows and obs.causal is not None:
+        for event in obs.causal.events:
+            kind = event["kind"]
+            if kind not in ("flow.send", "flow.recv"):
+                continue
+            flow: Dict[str, object] = {
+                "ph": "s" if kind == "flow.send" else "f",
+                "pid": pid,
+                "tid": event.get("tid", 0),
+                "ts": event["ts_ps"] / _PS_PER_USEC,
+                "id": event["flow"],
+                "name": "causal-flow",
+                "cat": "causal",
+                "args": {"trace": event["trace"]},
+            }
+            if kind == "flow.recv":
+                flow["bp"] = "e"  # bind to the enclosing slice
+            events.append(flow)
+    return events
+
+
+def chrome_trace(
+    obs: Observatory, process_name: str = "cider-sim"
+) -> Dict[str, object]:
+    """The trace as a Chrome trace-event JSON object (ready to dump)."""
     return {
-        "traceEvents": events,
+        "traceEvents": _machine_events(obs, 1, process_name),
         "displayTimeUnit": "ns",
         "otherData": {
             "droppedSpanEvents": obs.dropped_span_events,
             "profiledNs": obs.profiled_ns(),
+        },
+    }
+
+
+def chrome_trace_world(machines) -> Dict[str, object]:
+    """A single Chrome trace covering several machines: one ``pid`` per
+    machine (every virtual clock starts at zero, so the timestamps of all
+    machines are aligned in one timeline with no skew correction) plus
+    cross-machine flow events (``ph`` ``"s"``/``"f"``) whose ids are the
+    causal tracer's flow ids — the arrows that tie a client-side send to
+    the origin-side receive across process tracks."""
+    events: List[Dict[str, object]] = []
+    dropped = 0
+    profiled_ns = 0.0
+    for pid, machine in enumerate(machines, start=1):
+        obs = machine.obs
+        if obs is None:
+            raise ValueError(
+                f"machine {machine.profile.name!r} has no observatory"
+            )
+        name = obs.causal.node if obs.causal is not None else machine.profile.name
+        events.extend(
+            _machine_events(
+                obs, pid, name, aborted=machine.crashed, with_flows=True
+            )
+        )
+        dropped += obs.dropped_span_events
+        profiled_ns += obs.profiled_ns()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "droppedSpanEvents": dropped,
+            "profiledNs": profiled_ns,
         },
     }
 
@@ -90,16 +158,24 @@ def write_chrome_trace(
         json.dump(chrome_trace(obs, process_name), fh, sort_keys=True)
 
 
+def write_chrome_trace_world(machines, path: str) -> None:
+    """Write a multi-machine ``trace.json`` (see :func:`chrome_trace_world`)."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace_world(machines), fh, sort_keys=True)
+
+
 def validate_chrome_trace(trace: Dict[str, object]) -> List[str]:
     """Structural validation of a trace object: well-formed ``traceEvents``
-    with nested (balanced, LIFO) B/E pairs per tid and monotonic ``ts``.
-    Returns a list of problems (empty == valid)."""
+    with nested (balanced, LIFO) B/E pairs per ``(pid, tid)`` track and
+    monotonic ``ts`` on each track; flow events (``s``/``f``) must carry
+    an ``id``.  Returns a list of problems (empty == valid)."""
     problems: List[str] = []
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents is not a list"]
     stacks: Dict[object, List[Dict[str, object]]] = {}
     last_ts: Dict[object, float] = {}
+    flows: Dict[object, int] = {}
     for index, event in enumerate(events):
         if not isinstance(event, dict) or "ph" not in event:
             problems.append(f"event {index}: not a trace event object")
@@ -107,29 +183,46 @@ def validate_chrome_trace(trace: Dict[str, object]) -> List[str]:
         phase = event["ph"]
         if phase == "M":
             continue
-        tid = event.get("tid")
+        track = (event.get("pid"), event.get("tid"))
         ts = event.get("ts")
         if not isinstance(ts, (int, float)):
             problems.append(f"event {index}: missing/bad ts")
             continue
-        if ts < last_ts.get(tid, float("-inf")):
-            problems.append(f"event {index}: ts moves backwards on tid {tid}")
-        last_ts[tid] = ts
+        if phase in ("s", "f"):
+            # Flow events live outside the B/E nesting and are appended
+            # per machine, so they are exempt from track ts ordering.
+            if "id" not in event:
+                problems.append(f"event {index}: flow event without id")
+            else:
+                flows[event["id"]] = flows.get(event["id"], 0) + (
+                    1 if phase == "s" else -1
+                )
+            continue
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(
+                f"event {index}: ts moves backwards on track {track}"
+            )
+        last_ts[track] = ts
         if phase == "B":
             if "name" not in event:
                 problems.append(f"event {index}: B event without name")
-            stacks.setdefault(tid, []).append(event)
+            stacks.setdefault(track, []).append(event)
         elif phase == "E":
-            stack = stacks.setdefault(tid, [])
+            stack = stacks.setdefault(track, [])
             if not stack:
-                problems.append(f"event {index}: E without open B on tid {tid}")
+                problems.append(
+                    f"event {index}: E without open B on track {track}"
+                )
             else:
                 stack.pop()
         else:
             problems.append(f"event {index}: unsupported phase {phase!r}")
-    for tid, stack in sorted(stacks.items(), key=lambda kv: str(kv[0])):
+    for track, stack in sorted(stacks.items(), key=lambda kv: str(kv[0])):
         if stack:
-            problems.append(f"tid {tid}: {len(stack)} unclosed B events")
+            problems.append(f"track {track}: {len(stack)} unclosed B events")
+    for flow_id in sorted(flows, key=str):
+        if flows[flow_id] < 0:
+            problems.append(f"flow {flow_id}: finish without start")
     return problems
 
 

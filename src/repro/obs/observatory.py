@@ -79,6 +79,9 @@ class Observatory:
         self.dropped_span_events = 0
         #: Record per-span latency histograms (``<subsystem>.ns``).
         self.record_latency_histograms = True
+        #: Optional :class:`~repro.obs.causal.CausalTracer` — installed
+        #: via :meth:`repro.hw.machine.Machine.install_causal_tracer`.
+        self.causal = None
         self._machine: Optional["Machine"] = None
         #: ``clock.charged_ps`` at attach time — profiling starts here.
         self.attach_charged_ps = 0
@@ -121,6 +124,8 @@ class Observatory:
     ) -> Span:
         now_ps = self.clock.now_ps
         span = self.profiler.enter_span(subsystem, name, attrs, now_ps)
+        if self.causal is not None:
+            self.causal.on_enter(span)
         if self.record_span_events:
             self._record_event("B", now_ps, span)
         return span
@@ -131,6 +136,8 @@ class Observatory:
     def _on_span_closed(self, span: Span) -> None:
         """Profiler callback for every finished span (including spans
         force-closed during exception unwind)."""
+        if self.causal is not None:
+            self.causal.on_close(span)
         if self.record_span_events:
             self._record_event("E", span.end_ps or 0, span)
         if self.record_latency_histograms:
@@ -153,14 +160,16 @@ class Observatory:
             )
         )
 
-    def pending_close_events(self) -> List[SpanEvent]:
+    def pending_close_events(self, aborted: bool = False) -> List[SpanEvent]:
         """Synthetic ``E`` events (at the current virtual time) for spans
         still open — daemon service loops parked in ``mach_msg_receive``
         hold their span across the whole run.  The Chrome exporter appends
         these so the emitted trace is always balanced; the live spans are
-        *not* closed."""
+        *not* closed.  ``aborted`` tags each synthetic close — used when
+        exporting from a machine that panicked mid-span."""
         now_ps = self._machine.clock.now_ps if self._machine is not None else 0
         events: List[SpanEvent] = []
+        attrs = {"aborted": True} if aborted else None
         for stack in self.profiler._stacks.values():
             for span in reversed(stack):
                 events.append(
@@ -171,7 +180,7 @@ class Observatory:
                         span.thread_name,
                         span.subsystem,
                         span.name,
-                        None,
+                        attrs,
                     )
                 )
         return events

@@ -5,12 +5,22 @@ one JSON-serialisable dict; EXPERIMENTS-style scripts and the CI
 determinism gate call it so that "the telemetry itself is deterministic"
 is an enforced property, not an aspiration: two same-seed runs must
 produce byte-identical summary JSON.
+
+The module is also a CLI over *saved* trace artifacts
+(:mod:`repro.obs.diff` ``repro-trace-v1`` files) — every report can be
+regenerated offline without re-running the simulation::
+
+    python -m repro.obs.report perf-report trace.json
+    python -m repro.obs.report run-summary trace.json
+    python -m repro.obs.report diff a.json b.json --fail-on-drift
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-from typing import TYPE_CHECKING, Dict, Optional
+import sys
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..sim.clock import PSEC_PER_NSEC
 from .observatory import Observatory
@@ -78,3 +88,108 @@ def write_summary(summary: Dict[str, object], path: str) -> None:
 def format_summary(summary: Dict[str, object]) -> str:
     """The same content as a stable string (for stdout diffing in CI)."""
     return json.dumps(summary, sort_keys=True, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# CLI over saved trace artifacts (no simulation required).
+# ---------------------------------------------------------------------------
+
+
+def artifact_summary(trace: Dict[str, object]) -> Dict[str, object]:
+    """A deterministic summary of a saved ``repro-trace-v1`` artifact."""
+    from .diff import trace_ids
+
+    subsystems: Dict[str, Dict[str, int]] = {}
+    aborted = 0
+    for row in trace["spans"]:
+        stat = subsystems.setdefault(
+            str(row["subsystem"]), {"calls": 0, "self_ps": 0, "total_ps": 0}
+        )
+        stat["calls"] += 1
+        stat["self_ps"] += int(row["self_ps"])
+        stat["total_ps"] += int(row["total_ps"])
+        if row.get("aborted"):
+            aborted += 1
+    return {
+        "label": trace.get("label", "run"),
+        "machines": trace["machines"],
+        "traces": trace_ids(trace),
+        "spans": len(trace["spans"]),
+        "aborted_spans": aborted,
+        "events": len(trace["events"]),
+        "subsystems": subsystems,
+    }
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from .diff import critical_path, format_critical_path, load_trace, trace_ids
+
+    trace = load_trace(args.trace)
+    ids = [args.trace_id] if args.trace_id else trace_ids(trace)
+    if not ids:
+        sys.stdout.write("# no causal traces in artifact\n")
+        return 0
+    for trace_id in ids:
+        sys.stdout.write(format_critical_path(critical_path(trace, trace_id)))
+    return 0
+
+
+def _cmd_run_summary(args: argparse.Namespace) -> int:
+    from .diff import load_trace
+
+    summary = artifact_summary(load_trace(args.trace))
+    sys.stdout.write(format_summary(summary) + "\n")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .diff import format_diff_report, load_trace, trace_diff
+
+    diff = trace_diff(load_trace(args.a), load_trace(args.b))
+    sys.stdout.write(format_diff_report(diff))
+    if args.fail_on_drift and diff["drift_ps"] > 0:
+        sys.stderr.write(f"drift detected: {diff['drift_ps']} ps\n")
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Regenerate reports from saved trace artifacts.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    perf = commands.add_parser(
+        "perf-report", help="critical-path breakdown of each causal trace"
+    )
+    perf.add_argument("trace", help="repro-trace-v1 JSON artifact")
+    perf.add_argument(
+        "--trace-id", default=None, help="restrict to one trace id"
+    )
+    perf.set_defaults(func=_cmd_perf_report)
+
+    summary = commands.add_parser(
+        "run-summary", help="machines, traces and subsystem totals"
+    )
+    summary.add_argument("trace", help="repro-trace-v1 JSON artifact")
+    summary.set_defaults(func=_cmd_run_summary)
+
+    diff = commands.add_parser(
+        "diff", help="attribute virtual-time drift between two artifacts"
+    )
+    diff.add_argument("a", help="baseline artifact")
+    diff.add_argument("b", help="candidate artifact")
+    diff.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="exit 1 if any virtual-ps drift is attributed",
+    )
+    diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

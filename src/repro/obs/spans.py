@@ -41,6 +41,9 @@ class Span:
         "self_ps",
         "child_ps",
         "parent",
+        "trace_id",
+        "span_id",
+        "parent_span_id",
     )
 
     def __init__(
@@ -65,6 +68,11 @@ class Span:
         self.self_ps = 0
         self.child_ps = 0
         self.parent = parent
+        # Causal identity — assigned by the CausalTracer when the opening
+        # thread is inside an active trace, None otherwise.
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
 
     # -- derived quantities -------------------------------------------------
 

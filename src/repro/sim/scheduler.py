@@ -365,6 +365,49 @@ class Scheduler:
             raise thread.failure
         return thread.result
 
+    # -- multi-machine driving ---------------------------------------------
+    #
+    # A world of several machines is driven round-robin by an outer loop
+    # (``repro.cider.system.run_world``): each scheduler drains its own
+    # ready work without ever raising DeadlockError — a machine with
+    # nothing runnable may simply be waiting for a packet from a peer.
+    # Only when *no* machine can run does the world fire the globally
+    # nearest timer.
+
+    def run_ready(self) -> bool:
+        """Drain the ready queue (and whatever it cascades into) without
+        firing controller-level timers or declaring deadlock.  Returns
+        True if anything ran."""
+        if self._current is not self._controller:
+            raise SchedulerError("run_ready() called re-entrantly")
+        progress = False
+        while True:
+            self._reap()
+            if self._watchdog_budget_ns is not None:
+                self._watchdog_scan()
+            if not self._ready:
+                return progress
+            progress = True
+            self._handoff_from_controller()
+
+    def next_timer_deadline(self) -> Optional[float]:
+        """Remaining virtual ns until the earliest live timer (may be
+        negative if overdue), or None if no timer could ever fire."""
+        for timer in sorted(self._timers):
+            thread = timer.thread
+            if timer.cancelled or not thread.alive:
+                continue
+            if thread.state not in (ThreadState.BLOCKED, ThreadState.SLEEPING):
+                continue
+            return timer.deadline_ns - self.clock.now_ns
+        return None
+
+    def fire_next_timer(self) -> bool:
+        """Jump this machine's clock to its earliest live timer and wake
+        the waiter — the world driver calls this on exactly one machine
+        when every machine is blocked."""
+        return self._fire_due_timers()
+
     # -- watchdog ----------------------------------------------------------
 
     def set_watchdog(self, budget_ns: float, kill: bool = False) -> None:

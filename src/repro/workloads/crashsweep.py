@@ -235,9 +235,20 @@ def sample_sites(
     ]
 
 
-def sweep_site(point: str, nth: int, kind: str) -> Tuple[str, bool]:
-    """One crash–reboot–fsck–verify cycle; returns (report line, ok)."""
+def sweep_site(
+    point: str, nth: int, kind: str, observe: bool = False
+) -> Tuple[str, bool]:
+    """One crash–reboot–fsck–verify cycle; returns (report line, ok).
+
+    ``observe`` installs an observatory on the swept machine so each
+    iteration's attempt and recovery phases are profiled spans (the
+    default stays bare: the sweep report must be byte-identical with
+    and without observability).
+    """
     system = _build_system()
+    machine = system.machine
+    if observe:
+        machine.install_observatory()
     outcome = (
         FaultOutcome.power_loss()
         if kind == "power_loss"
@@ -255,9 +266,11 @@ def sweep_site(point: str, nth: int, kind: str) -> Tuple[str, bool]:
     )
     system.machine.install_fault_plan(plan)
 
+    label = f"{point}#{nth} {kind}"
     crashed = False
     try:
-        _run_workload(system)
+        with machine.span("workload.crashsweep", "attempt", site=label):
+            _run_workload(system)
     except MachinePanic:
         crashed = True
     except DeadlockError:
@@ -268,16 +281,16 @@ def sweep_site(point: str, nth: int, kind: str) -> Tuple[str, bool]:
         crashed = True
     if system.machine.crashed:
         crashed = True
-    label = f"{point}#{nth} {kind}"
     if not crashed:
         system.shutdown()
         return f"crashsweep: {label}: NOT-REACHED", False
 
-    system.reboot(reason=f"crashsweep {label}")
-    fsck_ok = system.fsck_report is not None and system.fsck_report.ok
-    lenient_ok = _run_verify(system, strict=False) == 0
-    rerun_ok = _run_workload(system) == 0
-    strict_ok = _run_verify(system, strict=True) == 0
+    with machine.span("workload.crashsweep", "recover", site=label):
+        system.reboot(reason=f"crashsweep {label}")
+        fsck_ok = system.fsck_report is not None and system.fsck_report.ok
+        lenient_ok = _run_verify(system, strict=False) == 0
+        rerun_ok = _run_workload(system) == 0
+        strict_ok = _run_verify(system, strict=True) == 0
     ok = fsck_ok and lenient_ok and rerun_ok and strict_ok
     system.shutdown()
     line = (

@@ -40,6 +40,12 @@ DEFAULT_STORM_WORKERS = 4
 ELF_PATH = "/data/netbench/netbench"
 MACHO_PATH = "/data/netbench-ios/netbench"
 
+#: Two-machine ("world") mode: the Cider client fetches from a second,
+#: vanilla-Android machine over the virtual segment.
+WORLD_MACHO_PATH = "/data/netbench-world/netbench"
+ORIGIN_NET_IP = "10.0.2.16"
+DEFAULT_WORLD_FETCHES = 2
+
 
 def _params(argv: List[str]) -> Dict:
     return argv[1] if len(argv) > 1 and isinstance(argv[1], dict) else {}
@@ -157,6 +163,54 @@ def bench_ios(ctx: UserContext, argv: List[str]) -> int:
     return 0
 
 
+def bench_world_ios(ctx: UserContext, argv: List[str]) -> int:
+    """Two-machine traced client: each request is one causal trace.
+
+    The plain requests are single-threaded on the client, so the charged
+    picoseconds of the client's clock across one request equal the root
+    span's ``total_ps`` exactly (the origin's work charges the *origin's*
+    clock; blocking charges nothing) — the equality the causal-trace
+    acceptance test asserts.  The final request first resolves notifyd
+    through launchd (a Mach IPC RPC), so its trace spans client persona →
+    Mach IPC → kernel sockets → virtual NIC → origin service and back.
+    """
+    from ..ios.services import NOTIFYD_SERVICE
+    from ..net.http import HELLO_BODY, HTTPD_PORT, http_get
+
+    params = _params(argv)
+    out = params.get("out", {})
+    fetches = params.get("fetches", DEFAULT_WORLD_FETCHES)
+    machine = ctx.machine
+    obs = machine.obs
+    causal = obs.causal if obs is not None else None
+
+    charged: List[int] = []
+    for index in range(fetches):
+        if causal is not None:
+            causal.begin_trace(f"GET /hello #{index}")
+        before = machine.clock.charged_ps
+        with machine.span("netbench.request", "/hello", index=index):
+            status, body = http_get(ctx, ORIGIN_HOST, "/hello", HTTPD_PORT)
+        charged.append(machine.clock.charged_ps - before)
+        if causal is not None:
+            causal.end_trace()
+        assert status == 200 and body == HELLO_BODY
+    out["request_charged_ps"] = charged
+
+    # Last request rides a Mach IPC hop before touching the network.
+    if causal is not None:
+        causal.begin_trace("GET /hello via-mach")
+    with machine.span("netbench.request", "/hello-mach"):
+        port = ctx.libc.bootstrap_look_up(NOTIFYD_SERVICE)
+        assert port != 0, "bootstrap_look_up(notifyd) failed"
+        status, body = http_get(ctx, ORIGIN_HOST, "/hello", HTTPD_PORT)
+    if causal is not None:
+        causal.end_trace()
+    assert status == 200 and body == HELLO_BODY
+    out["mach_lookup_ok"] = True
+    return 0
+
+
 # -- harness -------------------------------------------------------------------
 
 
@@ -204,6 +258,94 @@ def run_netbench(
     return results
 
 
+# -- two-machine world mode ----------------------------------------------------
+
+
+def install_netbench_world(system) -> None:
+    vfs = system.kernel.vfs
+    vfs.makedirs("/data/netbench-world")
+    vfs.install_binary(
+        WORLD_MACHO_PATH, macho_executable("netbench", bench_world_ios)
+    )
+
+
+def build_world(durable: bool = False, flightrec_capacity=None):
+    """A Cider client plus a vanilla-Android origin on one segment, both
+    with observatories, causal tracers and flight recorders installed.
+    Returns ``(client, origin)`` — drive them with
+    :func:`repro.cider.system.run_world`."""
+    from ..cider.system import build_cider, build_vanilla_android
+    from ..net.http import start_httpd_android
+
+    client = build_cider(durable=durable)
+    origin = build_vanilla_android()
+    # Give the origin its own address *before* its netstack first exists.
+    origin.machine.net_host_ip = ORIGIN_NET_IP
+    for system, node in ((client, "client"), (origin, "origin")):
+        system.machine.install_observatory()
+        system.machine.install_causal_tracer(node=node)
+        system.machine.install_flight_recorder(flightrec_capacity)
+    start_httpd_android(origin)
+    origin.run_until_idle()  # let the origin reach its accept loop
+    client.machine.net.connect_peer(origin.machine.net)
+    client.machine.net.register_host(ORIGIN_HOST, ORIGIN_NET_IP)
+    install_netbench_world(client)
+    return client, origin
+
+
+def run_netbench_world(
+    fetches: int = DEFAULT_WORLD_FETCHES, durable: bool = False
+) -> Dict[str, object]:
+    """Run the two-machine fetch workload and assemble the causal trace."""
+    from ..cider.system import run_world
+    from ..obs.diff import assemble_trace
+
+    client, origin = build_world(durable=durable)
+    out: Dict[str, object] = {}
+    params = {"out": out, "fetches": fetches}
+    process = client.kernel.start_process(
+        WORLD_MACHO_PATH, [WORLD_MACHO_PATH, params]
+    )
+    thread = process.main_thread().sim_thread
+    result = run_world([client, origin], thread)
+    code = result if isinstance(result, int) else 0
+    assert code == 0, f"world netbench exited {code}"
+    trace = assemble_trace(
+        [client.machine, origin.machine], label="netbench-world"
+    )
+    results: Dict[str, object] = dict(out)
+    results["trace"] = trace
+    results["client_virtual_ns"] = client.machine.clock.now_ns_int
+    results["origin_virtual_ns"] = origin.machine.clock.now_ns_int
+    client.shutdown()
+    origin.shutdown()
+    return results
+
+
+def world_main(argv: List[str]) -> None:
+    from ..obs.diff import (
+        critical_path,
+        format_critical_path,
+        save_trace,
+        trace_ids,
+    )
+
+    trace_out = None
+    if "--trace-out" in argv:
+        trace_out = argv[argv.index("--trace-out") + 1]
+    results = run_netbench_world()
+    trace = results["trace"]
+    print("netbench world — cider client, vanilla-android origin")
+    for index, ps in enumerate(results["request_charged_ps"]):
+        print(f"request {index}: client charged {ps} ps")
+    print(f"client virtual ns: {results['client_virtual_ns']}")
+    print(f"origin virtual ns: {results['origin_virtual_ns']}")
+    print(f"traces: {' '.join(trace_ids(trace))}")
+    print(format_critical_path(critical_path(trace)), end="")
+    if trace_out is not None:
+        save_trace(trace, trace_out)
+
+
 def main() -> None:
     results = run_netbench()
     android = results["android"]
@@ -225,4 +367,9 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    if "--world" in sys.argv[1:]:
+        world_main(sys.argv[1:])
+    else:
+        main()

@@ -137,6 +137,19 @@ class XNUKernelAPI:
 
         return NULL_SPAN
 
+    def causal_carrier(self) -> Optional[object]:
+        """Snapshot the sending thread's causal-trace context for
+        injection into a Mach message (the foreign analogue of a trace
+        header in the message trailer).  The default environment traces
+        nothing; duct-tape environments bind it to the host machine's
+        causal tracer.  Pure metadata — never charges virtual time."""
+        return None
+
+    def causal_adopt(self, carrier: object) -> None:
+        """Land a causal carrier taken from a received Mach message on
+        the receiving thread.  Default environment: no-op."""
+        return None
+
     # -- resource/pressure hooks --------------------------------------------------------
 
     def metric(self, name: str, amount: int = 1) -> None:

@@ -99,6 +99,10 @@ class MachMessage:
         self.reply_port_name: int = MACH_PORT_NULL
         #: After receive: name of the port the message arrived on.
         self.received_on: int = MACH_PORT_NULL
+        #: Causal-trace carrier riding in the message trailer (set at
+        #: send via ``XNUKernelAPI.causal_carrier``, landed at receive
+        #: via ``causal_adopt``).  Opaque to the Mach zone.
+        self.causal: object = None
 
     def __repr__(self) -> str:
         return f"<MachMessage id={self.msg_id} body={self.body!r}>"
@@ -461,6 +465,7 @@ class MachIPC:
                     return MACH_SEND_TIMED_OUT
             else:
                 self.xnu.thread_block(port.send_event)
+        msg.causal = self.xnu.causal_carrier()
         self.xnu.enqueue_tail(port.messages, msg)
         self.messages_sent += 1
         self.xnu.thread_wakeup_one(port.recv_event)
@@ -558,6 +563,8 @@ class MachIPC:
                 msg._body_right_port, RIGHT_SEND
             )
             msg._body_right_port = None
+        if msg.causal is not None:
+            self.xnu.causal_adopt(msg.causal)
         return MACH_MSG_SUCCESS, msg
 
     # -- RPC convenience (mach_msg send+receive on a reply port) -----------------------
