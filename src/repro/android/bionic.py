@@ -169,6 +169,9 @@ class Bionic:
     ) -> int:
         return self._trap(nr.NR_setsockopt, fd, level, option, value)
 
+    def getsockopt(self, fd: int, level: int, option: int) -> object:
+        return self._trap(nr.NR_getsockopt, fd, level, option)
+
     def getsockname(self, fd: int) -> object:
         return self._trap(nr.NR_getsockname, fd)
 
@@ -187,16 +190,15 @@ class Bionic:
         Returns the address string, or ``None`` (NXDOMAIN).
 
         Like a real stub resolver it retransmits on a timeout —
-        ``DNS_RETRIES`` sends, ``DNS_TIMEOUT_NS`` apart — so a query or
-        answer datagram lost to an injected ``net.send`` fault costs one
-        deterministic timeout instead of hanging the caller.
+        ``DNS_RETRIES`` sends, ``DNS_TIMEOUT_NS`` apart — then fails
+        over to the secondary server in ``DNS_SERVERS``.  Exhausting
+        every server is a *typed* failure: errno is set to ETIMEDOUT
+        after exactly ``servers x retries x timeout`` of virtual wait,
+        so resolution under 100% loss degrades to a bounded,
+        deterministic delay instead of a hang.
         """
-        from ..net.netstack import (
-            DNS_PORT,
-            DNS_RETRIES,
-            DNS_SERVER_IP,
-            DNS_TIMEOUT_NS,
-        )
+        from ..kernel.errno import ETIMEDOUT
+        from ..net.netstack import DNS_PORT, DNS_RETRIES, DNS_SERVERS, DNS_TIMEOUT_NS
         from ..net.sockets import AF_INET, SOCK_DGRAM
 
         self._ctx.machine.charge("net_dns_query_cpu")
@@ -205,22 +207,24 @@ class Bionic:
             return None
         try:
             query = b"Q " + name.encode()
-            for _attempt in range(DNS_RETRIES):
-                if self.sendto(fd, query, (DNS_SERVER_IP, DNS_PORT)) == -1:
-                    return None
-                ready = self.select([fd], timeout_ns=DNS_TIMEOUT_NS)
-                if ready == -1:
-                    return None
-                if not ready[0]:
-                    continue  # timed out: retransmit
-                result = self.recvfrom(fd, 512)
-                if result == -1:
-                    return None
-                answer, _server = result
-                parts = answer.decode().split()
-                if parts and parts[0] == "A" and len(parts) == 3:
-                    return parts[2]
-                return None
+            for server_ip in DNS_SERVERS:
+                for _attempt in range(DNS_RETRIES):
+                    if self.sendto(fd, query, (server_ip, DNS_PORT)) == -1:
+                        return None
+                    ready = self.select([fd], timeout_ns=DNS_TIMEOUT_NS)
+                    if ready == -1:
+                        return None
+                    if not ready[0]:
+                        continue  # timed out: retransmit
+                    result = self.recvfrom(fd, 512)
+                    if result == -1:
+                        return None
+                    answer, _server = result
+                    parts = answer.decode().split()
+                    if parts and parts[0] == "A" and len(parts) == 3:
+                        return parts[2]
+                    return None  # authoritative NXDOMAIN: no failover
+            self._thread.errno = ETIMEDOUT  # every server exhausted
             return None
         finally:
             self.close(fd)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..net.http import http_get
+from ..net.resilience import ResilienceEngine
 from ..ios.cfnetwork import parse_url
 
 if TYPE_CHECKING:
@@ -34,6 +34,7 @@ class HttpURLConnection:
         self._ctx = ctx
         self.url = url
         self.response_code: Optional[int] = None
+        self.errno = 0
         self._body: Optional[bytes] = None
 
     def _fetch(self) -> None:
@@ -50,10 +51,16 @@ class HttpURLConnection:
             causal.begin_trace(f"fetch {path}")
         try:
             with machine.span("urlconnection.fetch", path, url=self.url):
-                status, body = http_get(ctx, host, path, port)
+                # The same shared policy engine NSURLSession uses — the
+                # client-side half of the pass-through story.
+                result = ResilienceEngine.shared(ctx).fetch(
+                    ctx, host, path, port
+                )
         finally:
             if causal is not None:
                 causal.end_trace()
+        status, body = result.status, result.body
+        self.errno = result.errno
         self.response_code = status
         self._body = body
         machine.emit(

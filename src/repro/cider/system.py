@@ -229,34 +229,46 @@ def run_world(systems: List["System"], thread) -> object:
     from ..sim.errors import DeadlockError, MachinePanic
 
     machines = [system.machine for system in systems]
-    while thread.alive:
-        progress = False
-        for machine in machines:
-            if machine.scheduler.run_ready():
-                progress = True
-        if progress or not thread.alive:
-            continue
-        for machine in machines:
-            if machine.crashed:
-                raise MachinePanic(machine.panic_reason or "machine panic")
-        nearest = None
-        for machine in machines:
-            remaining = machine.scheduler.next_timer_deadline()
-            if remaining is None:
+    # While the world owns the machines, no scheduler may jump its own
+    # clock to a local timer on dispatch: a deadline (SO_RCVTIMEO, a
+    # backoff sleep) must only expire once *every* machine is blocked —
+    # the packet that would beat it may still be queued on a peer.
+    for machine in machines:
+        machine.scheduler.world_driven = True
+    try:
+        while thread.alive:
+            progress = False
+            for machine in machines:
+                if machine.scheduler.run_ready():
+                    progress = True
+            if progress or not thread.alive:
                 continue
-            if nearest is None or remaining < nearest[0]:
-                nearest = (remaining, machine)
-        if nearest is None:
-            dumps = "\n\n".join(
-                f"== {system.label} ==\n"
-                + system.machine.scheduler.thread_dump()
-                for system in systems
-            )
-            raise DeadlockError(
-                "every machine in the world is blocked; thread dumps:\n"
-                + dumps
-            )
-        nearest[1].scheduler.fire_next_timer()
+            for machine in machines:
+                if machine.crashed:
+                    raise MachinePanic(
+                        machine.panic_reason or "machine panic"
+                    )
+            nearest = None
+            for machine in machines:
+                remaining = machine.scheduler.next_timer_deadline()
+                if remaining is None:
+                    continue
+                if nearest is None or remaining < nearest[0]:
+                    nearest = (remaining, machine)
+            if nearest is None:
+                dumps = "\n\n".join(
+                    f"== {system.label} ==\n"
+                    + system.machine.scheduler.thread_dump()
+                    for system in systems
+                )
+                raise DeadlockError(
+                    "every machine in the world is blocked; thread dumps:\n"
+                    + dumps
+                )
+            nearest[1].scheduler.fire_next_timer()
+    finally:
+        for machine in machines:
+            machine.scheduler.world_driven = False
     if thread.failure is not None:
         raise thread.failure
     return thread.result

@@ -65,6 +65,7 @@ SYS_connect = 98
 SYS_bind = 104
 SYS_setsockopt = 105
 SYS_listen = 106
+SYS_getsockopt = 118
 SYS_sendto = 133
 SYS_shutdown = 134
 SYS_socketpair = 135
@@ -330,6 +331,7 @@ def _register_bsd(table: DispatchTable, native: bool) -> None:
     table.register(SYS_sendto, "sendto", linux.sys_sendto)
     table.register(SYS_recvfrom, "recvfrom", linux.sys_recvfrom)
     table.register(SYS_setsockopt, "setsockopt", linux.sys_setsockopt)
+    table.register(SYS_getsockopt, "getsockopt", linux.sys_getsockopt)
     table.register(SYS_getsockname, "getsockname", linux.sys_getsockname)
     table.register(SYS_shutdown, "shutdown", linux.sys_shutdown)
     table.register(SYS_socketpair, "socketpair", linux.sys_socketpair)

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
-from ..net.http import HTTPD_PORT, http_get
+from ..net.http import HTTPD_PORT
+from ..net.resilience import ResilienceEngine
 
 if TYPE_CHECKING:
     from ..kernel.process import UserContext
@@ -75,12 +76,18 @@ class NSURLSessionDataTask:
             causal.begin_trace(f"fetch {path}")
         try:
             with machine.span("cfnetwork.fetch", path, url=self.url):
-                status, body = http_get(ctx, host, path, port)
+                # Transport + fault tolerance both ride the shared
+                # engine — the same retries/breaker/hedge policy Android
+                # clients get, through XNU trap numbers.
+                result = ResilienceEngine.shared(ctx).fetch(
+                    ctx, host, path, port
+                )
         finally:
             if causal is not None:
                 causal.end_trace()
+        status, body = result.status, result.body
         if status < 0:
-            self.error = f"NSURLErrorDomain errno={ctx.libc.errno}"
+            self.error = f"NSURLErrorDomain errno={result.errno}"
             status = -1
         self.response = NSURLResponse(self.url, status)
         self.data = body

@@ -173,6 +173,9 @@ class IOSLibc:
     ) -> int:
         return self._bsd(xnu.SYS_setsockopt, fd, level, option, value)
 
+    def getsockopt(self, fd: int, level: int, option: int) -> object:
+        return self._bsd(xnu.SYS_getsockopt, fd, level, option)
+
     def getsockname(self, fd: int) -> object:
         return self._bsd(xnu.SYS_getsockname, fd)
 
@@ -189,16 +192,14 @@ class IOSLibc:
         — same query datagram to 10.0.2.3:53, same answer parse — issued
         through XNU syscall numbers instead of Linux ones.  The identical
         behaviour *is* the pass-through demonstration.  The same
-        timeout-and-retransmit policy applies (``DNS_RETRIES`` sends,
-        ``DNS_TIMEOUT_NS`` apart) so injected datagram loss degrades to
-        a deterministic delay, not a hang.
+        timeout-retransmit-failover policy applies (``DNS_RETRIES``
+        sends ``DNS_TIMEOUT_NS`` apart per server in ``DNS_SERVERS``),
+        and exhausting every server sets errno to ETIMEDOUT after
+        exactly ``servers x retries x timeout`` of virtual wait — a
+        typed, bounded failure on both personas.
         """
-        from ..net.netstack import (
-            DNS_PORT,
-            DNS_RETRIES,
-            DNS_SERVER_IP,
-            DNS_TIMEOUT_NS,
-        )
+        from ..kernel.errno import ETIMEDOUT
+        from ..net.netstack import DNS_PORT, DNS_RETRIES, DNS_SERVERS, DNS_TIMEOUT_NS
         from ..net.sockets import AF_INET, SOCK_DGRAM
 
         self._ctx.machine.charge("net_dns_query_cpu")
@@ -207,22 +208,24 @@ class IOSLibc:
             return None
         try:
             query = b"Q " + name.encode()
-            for _attempt in range(DNS_RETRIES):
-                if self.sendto(fd, query, (DNS_SERVER_IP, DNS_PORT)) == -1:
-                    return None
-                ready = self.select([fd], timeout_ns=DNS_TIMEOUT_NS)
-                if ready == -1:
-                    return None
-                if not ready[0]:
-                    continue  # timed out: retransmit
-                result = self.recvfrom(fd, 512)
-                if result == -1:
-                    return None
-                answer, _server = result
-                parts = answer.decode().split()
-                if parts and parts[0] == "A" and len(parts) == 3:
-                    return parts[2]
-                return None
+            for server_ip in DNS_SERVERS:
+                for _attempt in range(DNS_RETRIES):
+                    if self.sendto(fd, query, (server_ip, DNS_PORT)) == -1:
+                        return None
+                    ready = self.select([fd], timeout_ns=DNS_TIMEOUT_NS)
+                    if ready == -1:
+                        return None
+                    if not ready[0]:
+                        continue  # timed out: retransmit
+                    result = self.recvfrom(fd, 512)
+                    if result == -1:
+                        return None
+                    answer, _server = result
+                    parts = answer.decode().split()
+                    if parts and parts[0] == "A" and len(parts) == 3:
+                        return parts[2]
+                    return None  # authoritative NXDOMAIN: no failover
+            self._thread.errno = ETIMEDOUT  # every server exhausted
             return None
         finally:
             self.close(fd)

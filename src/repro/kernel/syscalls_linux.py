@@ -77,6 +77,7 @@ NR_sendto = 290
 NR_recvfrom = 292
 NR_shutdown = 293
 NR_setsockopt = 294
+NR_getsockopt = 295
 NR_clone = 120
 #: Cider addition — available from every persona (paper §4.3).
 NR_set_persona = 983045  # above the native ARM range (__ARM_NR_* area)
@@ -479,6 +480,15 @@ def sys_setsockopt(
     return 0
 
 
+def sys_getsockopt(
+    kernel: "Kernel", thread: "KThread", fd: int, level: int, option: int
+):
+    handle = _any_sock_for(thread, fd)
+    if isinstance(handle, INetSocket):
+        return handle.getsockopt(level, option)
+    return 0
+
+
 def sys_getsockname(kernel: "Kernel", thread: "KThread", fd: int):
     handle = _any_sock_for(thread, fd)
     if isinstance(handle, INetSocket):
@@ -605,3 +615,4 @@ def _register_all(table: DispatchTable) -> None:
     table.register(NR_recvfrom, "recvfrom", sys_recvfrom)
     table.register(NR_shutdown, "shutdown", sys_shutdown)
     table.register(NR_setsockopt, "setsockopt", sys_setsockopt)
+    table.register(NR_getsockopt, "getsockopt", sys_getsockopt)

@@ -9,12 +9,15 @@ sockets never construct it (``Machine.net_if_up is None``), keeping the
 golden default-config virtual time byte-identical.
 """
 
+from .conditions import LinkConditions, LinkSchedule, LinkWindow
 from .netstack import (
     DNS_PORT,
     DNS_SERVER_IP,
+    DNS_SERVERS,
     LOOPBACK_IP,
     NetStack,
 )
+from .resilience import FetchResult, ResilienceEngine, ResiliencePolicy
 from .sockets import (
     AF_INET,
     AF_UNIX,
@@ -39,10 +42,17 @@ __all__ = [
     "AF_UNIX",
     "DNS_PORT",
     "DNS_SERVER_IP",
+    "DNS_SERVERS",
+    "FetchResult",
     "HTTPD_PORT",
     "INetSocket",
     "LOOPBACK_IP",
+    "LinkConditions",
+    "LinkSchedule",
+    "LinkWindow",
     "NetStack",
+    "ResilienceEngine",
+    "ResiliencePolicy",
     "ORIGIN_HOST",
     "SHUT_RD",
     "SHUT_RDWR",

@@ -1,0 +1,232 @@
+"""Deterministic link-condition schedules: partitions, degradation, corruption.
+
+A :class:`LinkSchedule` scripts what the virtual wire does to traffic per
+virtual-time window — the network analogue of a :class:`~repro.sim.faults.
+FaultPlan`.  Where a fault plan answers "does *this* operation fail?", a
+schedule answers "what is the *link* doing right now?":
+
+* **partition** — no segment crosses the link for the window (full, or
+  one-way: only this stack's outbound / only its inbound direction);
+* **degrade** — latency spike (``latency_x``) and/or bandwidth collapse
+  (``bandwidth_x`` multiplies the per-KB serialisation time);
+* **flap** — the link alternates up/down with a fixed period (up for the
+  first half-period, down for the second, repeating);
+* **corrupt** — every ``every``-th segment entering the window is
+  bit-flipped in flight.  The transport's per-segment checksum detects
+  the damage, drops the segment (``CSUM`` packet-log line, counted in
+  ``NetStack.csum_drops``) and TCP retransmits — corrupted payload is
+  *never* delivered.
+
+Determinism: a schedule is a pure function of virtual time plus one
+append-ordered segment counter for ``corrupt`` (the cooperative scheduler
+orders sends deterministically, so the counter is too).  No wall clock,
+no RNG — same seed ⇒ byte-identical packet logs under any schedule.
+
+Schedules are consulted only on the wlan0 path of a stack that has one
+installed (``NetStack.install_schedule``); machines without a schedule
+pay one ``is None`` test, preserving the zero-cost-when-off contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: Window kinds.
+PARTITION = "partition"
+DEGRADE = "degrade"
+FLAP = "flap"
+CORRUPT = "corrupt"
+
+#: Partition directions, from the owning stack's point of view.
+DIR_BOTH = "both"
+DIR_OUT = "out"
+DIR_IN = "in"
+
+
+class LinkWindow:
+    """One scripted condition over a half-open virtual-time window
+    ``[start_ns, end_ns)``.  Build with the classmethod constructors."""
+
+    __slots__ = (
+        "start_ns",
+        "end_ns",
+        "kind",
+        "direction",
+        "latency_x",
+        "bandwidth_x",
+        "every",
+        "period_ns",
+    )
+
+    def __init__(
+        self,
+        start_ns: float,
+        end_ns: float,
+        kind: str,
+        *,
+        direction: str = DIR_BOTH,
+        latency_x: float = 1.0,
+        bandwidth_x: float = 1.0,
+        every: int = 1,
+        period_ns: float = 0.0,
+    ) -> None:
+        if end_ns <= start_ns:
+            raise ValueError(f"empty window [{start_ns}, {end_ns})")
+        if direction not in (DIR_BOTH, DIR_OUT, DIR_IN):
+            raise ValueError(f"unknown direction {direction!r}")
+        if kind == FLAP and period_ns <= 0:
+            raise ValueError("flap needs a positive period_ns")
+        if kind == CORRUPT and every < 1:
+            raise ValueError("corrupt every is 1-based")
+        self.start_ns = float(start_ns)
+        self.end_ns = float(end_ns)
+        self.kind = kind
+        self.direction = direction
+        self.latency_x = latency_x
+        self.bandwidth_x = bandwidth_x
+        self.every = every
+        self.period_ns = float(period_ns)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def partition(
+        cls, start_ns: float, end_ns: float, direction: str = DIR_BOTH
+    ) -> "LinkWindow":
+        """Full (``both``) or one-way (``out``/``in``) partition."""
+        return cls(start_ns, end_ns, PARTITION, direction=direction)
+
+    @classmethod
+    def degrade(
+        cls,
+        start_ns: float,
+        end_ns: float,
+        latency_x: float = 1.0,
+        bandwidth_x: float = 1.0,
+    ) -> "LinkWindow":
+        """Latency spike and/or bandwidth collapse (multipliers >= 1)."""
+        return cls(
+            start_ns, end_ns, DEGRADE,
+            latency_x=latency_x, bandwidth_x=bandwidth_x,
+        )
+
+    @classmethod
+    def flap(
+        cls, start_ns: float, end_ns: float, period_ns: float
+    ) -> "LinkWindow":
+        """Link up for the first half of every ``period_ns``, down for
+        the second — a deterministic square wave."""
+        return cls(start_ns, end_ns, FLAP, period_ns=period_ns)
+
+    @classmethod
+    def corrupt(
+        cls, start_ns: float, end_ns: float, every: int = 1
+    ) -> "LinkWindow":
+        """Bit-flip every ``every``-th segment inside the window."""
+        return cls(start_ns, end_ns, CORRUPT, every=every)
+
+    # -- evaluation --------------------------------------------------------
+
+    def active(self, now_ns: float) -> bool:
+        return self.start_ns <= now_ns < self.end_ns
+
+    def down_at(self, now_ns: float) -> bool:
+        """Is the link down for traffic at ``now_ns`` (partition, or the
+        down half of a flap period)?"""
+        if self.kind == PARTITION:
+            return True
+        if self.kind == FLAP:
+            phase = (now_ns - self.start_ns) % self.period_ns
+            return phase >= self.period_ns / 2.0
+        return False
+
+    def describe(self) -> str:
+        span = f"[{self.start_ns:.0f},{self.end_ns:.0f})"
+        if self.kind == PARTITION:
+            return f"partition({self.direction}) {span}"
+        if self.kind == FLAP:
+            return f"flap(period={self.period_ns:.0f}) {span}"
+        if self.kind == CORRUPT:
+            return f"corrupt(every={self.every}) {span}"
+        return (
+            f"degrade(latency_x={self.latency_x:g},"
+            f"bandwidth_x={self.bandwidth_x:g}) {span}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<LinkWindow {self.describe()}>"
+
+
+class LinkConditions:
+    """The combined link state at one instant (what the transmit path
+    actually consults): down?, latency/bandwidth multipliers, and the
+    corruption stride (0 = clean)."""
+
+    __slots__ = ("down", "latency_x", "bandwidth_x", "corrupt_every")
+
+    def __init__(self) -> None:
+        self.down = False
+        self.latency_x = 1.0
+        self.bandwidth_x = 1.0
+        self.corrupt_every = 0
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.down
+            and self.latency_x == 1.0
+            and self.bandwidth_x == 1.0
+            and self.corrupt_every == 0
+        )
+
+
+class LinkSchedule:
+    """An ordered list of :class:`LinkWindow` conditions for one stack's
+    wlan0 link.  Install with ``NetStack.install_schedule``."""
+
+    def __init__(self, windows: Optional[List[LinkWindow]] = None) -> None:
+        self.windows: List[LinkWindow] = list(windows or [])
+        #: Segments that entered a corrupt window, append-ordered by the
+        #: cooperative scheduler — the deterministic corruption stride.
+        self._corrupt_seq = 0
+
+    def add(self, window: LinkWindow) -> LinkWindow:
+        self.windows.append(window)
+        return window
+
+    def conditions_at(self, now_ns: float, direction: str) -> LinkConditions:
+        """Evaluate every active window for traffic flowing ``direction``
+        (``out`` = leaving the owning stack, ``in`` = toward it).
+        Overlapping windows compose: multipliers multiply, any down
+        window wins, the smallest corruption stride wins."""
+        state = LinkConditions()
+        for window in self.windows:
+            if not window.active(now_ns):
+                continue
+            if window.direction != DIR_BOTH and window.direction != direction:
+                continue
+            if window.down_at(now_ns):
+                state.down = True
+            if window.kind == DEGRADE:
+                state.latency_x *= window.latency_x
+                state.bandwidth_x *= window.bandwidth_x
+            elif window.kind == CORRUPT:
+                if not state.corrupt_every or window.every < state.corrupt_every:
+                    state.corrupt_every = window.every
+        return state
+
+    def corrupt_take(self, every: int) -> bool:
+        """Advance the corruption counter for one segment inside a
+        corrupt window; True when this segment is the damaged one."""
+        self._corrupt_seq += 1
+        return self._corrupt_seq % every == 0
+
+    def end_ns(self) -> float:
+        """When the last scripted window closes (sweep deadlines use it)."""
+        return max((w.end_ns for w in self.windows), default=0.0)
+
+    def describe(self) -> List[str]:
+        return [w.describe() for w in self.windows]
+
+    def __repr__(self) -> str:
+        return f"<LinkSchedule {len(self.windows)} window(s)>"

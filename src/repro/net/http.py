@@ -28,7 +28,15 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..binfmt import BinaryImage, elf_executable, macho_executable
-from .sockets import AF_INET, SHUT_WR, SOCK_STREAM, SO_REUSEADDR, SOL_SOCKET
+from .sockets import (
+    AF_INET,
+    SHUT_WR,
+    SOCK_STREAM,
+    SO_RCVTIMEO,
+    SO_REUSEADDR,
+    SO_SNDTIMEO,
+    SOL_SOCKET,
+)
 
 if TYPE_CHECKING:
     from ..cider.system import System
@@ -163,12 +171,18 @@ def http_get(
     host: str,
     path: str,
     port: int = HTTPD_PORT,
+    timeout_ns: Optional[float] = None,
 ) -> Tuple[int, bytes]:
     """Blocking wire-level GET: resolve, connect, request, drain to EOF.
 
     Returns ``(status_code, body)``; ``(-1, b"")`` on resolution,
     connection, or protocol failure (``libc.errno`` holds the cause for
     syscall-level failures).
+
+    ``timeout_ns`` arms SO_RCVTIMEO/SO_SNDTIMEO on the request socket so
+    a partitioned origin surfaces EAGAIN/ETIMEDOUT in bounded virtual
+    time.  The default ``None`` issues *no* extra syscalls — the
+    unadorned request is byte-identical to the historical one.
     """
     libc = ctx.libc
     if any(c.isalpha() for c in host):
@@ -181,6 +195,9 @@ def http_get(
     if fd == -1:
         return -1, b""
     try:
+        if timeout_ns is not None:
+            libc.setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, timeout_ns)
+            libc.setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, timeout_ns)
         if libc.connect(fd, (ip, port)) == -1:
             return -1, b""
         if libc.write(fd, build_request(path, host)) == -1:

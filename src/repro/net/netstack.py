@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..hw.profiles import LinkProfile, default_links
 from ..kernel.errno import EADDRINUSE, EHOSTUNREACH, SyscallError
+from .conditions import DIR_IN, DIR_OUT, LinkConditions, LinkSchedule
 
 if TYPE_CHECKING:
     from ..hw.machine import Machine
@@ -49,6 +50,10 @@ if TYPE_CHECKING:
 #: (same scheme the Android emulator uses for its virtual network).
 DEFAULT_HOST_IP = "10.0.2.15"
 DNS_SERVER_IP = "10.0.2.3"
+#: Secondary resolver: ``getaddrinfo`` fails over to it after the
+#: primary's retry budget is exhausted (both personas' stub resolvers).
+DNS_SERVER2_IP = "10.0.2.4"
+DNS_SERVERS = (DNS_SERVER_IP, DNS_SERVER2_IP)
 DNS_PORT = 53
 #: Stub-resolver retransmission policy (both personas' ``getaddrinfo``):
 #: wait this long for an answer, then resend the query — a datagram lost
@@ -75,6 +80,7 @@ class NetStack:
             LOOPBACK_IP: links["lo"],
             host_ip: links["wlan0"],
             DNS_SERVER_IP: links["wlan0"],
+            DNS_SERVER2_IP: links["wlan0"],
         }
         self.local_ips = (LOOPBACK_IP, host_ip)
         #: Deterministic name resolution (the stub resolver's zone).
@@ -101,8 +107,23 @@ class NetStack:
         self.bytes_received = 0
         self.segments_sent = 0
         self.drops = 0
+        #: Resilience counters: segments lost to scripted/injected
+        #: partitions, segments dropped by the receive-side checksum, and
+        #: TCP keepalive probes sent by blocked readers.
+        self.partition_drops = 0
+        self.csum_drops = 0
+        self.keepalive_probes = 0
+        #: Scripted link conditions for the wlan0 path; None (the default)
+        #: keeps the transmit path on its zero-cost fast branch.
+        self.schedule: Optional[LinkSchedule] = None
 
     # -- configuration ------------------------------------------------------
+
+    def install_schedule(self, schedule: LinkSchedule) -> LinkSchedule:
+        """Attach a :class:`~repro.net.conditions.LinkSchedule` to this
+        stack's wlan0 link.  Loopback traffic is never scheduled."""
+        self.schedule = schedule
+        return schedule
 
     def register_host(self, name: str, ip: Optional[str] = None) -> str:
         """Add a name to the resolver's zone (defaults to this device's
@@ -149,6 +170,51 @@ class NetStack:
 
     def is_local(self, ip: str) -> bool:
         return ip in self.local_ips or ip == WILDCARD_IP
+
+    def conditions_for(
+        self, dst_ip: str, now_ns: float
+    ) -> Optional[LinkConditions]:
+        """The combined scripted link state for a flight toward
+        ``dst_ip`` at ``now_ns``: this stack's schedule governs the
+        outbound direction, the destination machine's schedule (if any)
+        the inbound one — which is what makes one-way partitions
+        expressible.  Machines keep independent clocks, so each side of
+        the link is judged on its owner's timeline: the outbound half at
+        this machine's ``now_ns``, the inbound half at the *receiver's*
+        clock.  Returns None when no schedule touches the flight (the
+        common, zero-cost case) and for loopback traffic."""
+        if dst_ip == LOOPBACK_IP:
+            return None
+        state: Optional[LinkConditions] = None
+        if self.schedule is not None:
+            state = self.schedule.conditions_at(now_ns, DIR_OUT)
+        peer = self.peers.get(dst_ip)
+        if peer is not None and peer.schedule is not None:
+            inbound = peer.schedule.conditions_at(
+                peer.machine.clock.now_ns, DIR_IN
+            )
+            if state is None:
+                state = inbound
+            else:
+                state.down = state.down or inbound.down
+                state.latency_x *= inbound.latency_x
+                state.bandwidth_x *= inbound.bandwidth_x
+                if inbound.corrupt_every and (
+                    not state.corrupt_every
+                    or inbound.corrupt_every < state.corrupt_every
+                ):
+                    state.corrupt_every = inbound.corrupt_every
+        return state
+
+    def corrupt_take(self, dst_ip: str, every: int) -> bool:
+        """Advance the corruption stride on whichever schedule scripted
+        it (own first, else the destination's)."""
+        if self.schedule is not None:
+            return self.schedule.corrupt_take(every)
+        peer = self.peers.get(dst_ip)
+        if peer is not None and peer.schedule is not None:
+            return peer.schedule.corrupt_take(every)
+        return False
 
     # -- port management ----------------------------------------------------
 
@@ -234,6 +300,9 @@ class NetStack:
             "bytes_received": self.bytes_received,
             "segments_sent": self.segments_sent,
             "drops": self.drops,
+            "partition_drops": self.partition_drops,
+            "csum_drops": self.csum_drops,
+            "keepalive_probes": self.keepalive_probes,
             "packet_log_sha256": self.log_digest(),
         }
 

@@ -26,6 +26,18 @@ Cross-cutting wiring:
   delay) and ``net.send`` (errno, or delay == "segment dropped, pay the
   retransmission timeout and one RTT", logged as a ``DROP`` line so the
   packet log itself witnesses the injected loss deterministically);
+  plus the link-condition points ``net.partition`` (segment lost,
+  ``PART`` log line, caller retransmits/gives up), ``net.degrade``
+  (extra in-flight delay) and ``net.corrupt`` (bit-flip caught by the
+  per-segment checksum: ``CSUM`` line, dropped, retransmitted — never
+  delivered).  The same three behaviours run scheduled via
+  :class:`~repro.net.conditions.LinkSchedule`;
+* **deadlines** — ``SO_RCVTIMEO``/``SO_SNDTIMEO`` bound every blocking
+  path with EAGAIN, ``SO_KEEPALIVE`` probes a silent peer every
+  ``TCP_KEEPIDLE`` and resets after ``TCP_KEEPCNT`` losses, and
+  ``TCP_USER_TIMEOUT`` plus the kernel retransmission cap bound the
+  write-side retransmit loop — a partitioned peer always surfaces
+  ETIMEDOUT/ECONNRESET in bounded virtual time, never a hang;
 * **resources** — every socket reserves its send+receive buffers from the
   machine RAM envelope (ENOBUFS when scarce) and every descriptor is
   minted through the checked ``fd_alloc`` path (RLIMIT_NOFILE ⇒ EMFILE);
@@ -62,7 +74,7 @@ from ..kernel.errno import (
     SyscallError,
 )
 from ..kernel.files import O_NONBLOCK, O_RDWR, OpenFile
-from .netstack import DNS_PORT, DNS_SERVER_IP, LOOPBACK_IP, WILDCARD_IP, NetStack
+from .netstack import DNS_PORT, DNS_SERVERS, LOOPBACK_IP, WILDCARD_IP, NetStack
 
 if TYPE_CHECKING:
     from ..hw.machine import Machine
@@ -82,8 +94,20 @@ SOL_SOCKET = 1
 SO_REUSEADDR = 2
 SO_SNDBUF = 7
 SO_RCVBUF = 8
+SO_KEEPALIVE = 9
+#: Receive/send deadlines (values are virtual nanoseconds; 0 disables —
+#: the sim's analogue of ``struct timeval``).  POSIX semantics: an
+#: expired deadline surfaces EAGAIN, exactly like a real SO_RCVTIMEO.
+SO_RCVTIMEO = 20
+SO_SNDTIMEO = 21
 IPPROTO_TCP = 6
 TCP_NODELAY = 1
+TCP_KEEPIDLE = 4
+TCP_KEEPCNT = 6
+#: Abort a write whose retransmissions make no progress for this long
+#: (virtual ns; Linux ``TCP_USER_TIMEOUT``).  Surfaces ETIMEDOUT and
+#: resets the connection.
+TCP_USER_TIMEOUT = 18
 
 #: Per-direction stream buffer (and the congestion window).
 SOCK_CAPACITY = 65536
@@ -94,6 +118,22 @@ SOCK_RAM_BYTES = SOCK_CAPACITY
 UDP_MAX_PAYLOAD = 65507
 #: Datagram receive queue depth; beyond it the stack drops (logged).
 UDP_QUEUE_DEPTH = 64
+
+#: TCP retransmission timeout paid per segment lost to a partition or a
+#: checksum drop (virtual ns), and the kernel's retransmission cap: after
+#: this many consecutive losses of one segment the connection is reset
+#: (Linux gives up after ~15 retries too), so a permanent partition can
+#: never hang a writer even without TCP_USER_TIMEOUT configured.
+TCP_RTO_NS = 3_000_000
+TCP_MAX_RETRANSMITS = 15
+#: Handshake retry policy under a partition: SYN retransmission timeout
+#: (doubles per attempt) and the retry budget before ETIMEDOUT.
+TCP_SYN_RTO_NS = 2_000_000
+TCP_SYN_RETRIES = 5
+#: Keepalive defaults (virtual ns): probe interval while a reader blocks
+#: on a silent connection, and consecutive lost probes before reset.
+TCP_KEEPIDLE_NS = 50_000_000
+TCP_KEEPCNT_DEFAULT = 3
 
 Addr = Tuple[str, int]
 
@@ -118,7 +158,8 @@ class _NetStream:
 class TCPConnection:
     """A full-duplex virtual TCP connection (two streams, one link)."""
 
-    __slots__ = ("link", "a_to_b", "b_to_a", "client_addr", "server_addr")
+    __slots__ = ("link", "a_to_b", "b_to_a", "client_addr", "server_addr",
+                 "reset")
 
     def __init__(self, link: "LinkProfile", client_addr: Addr, server_addr: Addr) -> None:
         self.link = link
@@ -126,6 +167,9 @@ class TCPConnection:
         self.b_to_a = _NetStream()  # server -> client
         self.client_addr = client_addr
         self.server_addr = server_addr
+        #: RST state: set by keepalive/user-timeout/retransmit-cap
+        #: expiry; both ends' next read raises ECONNRESET.
+        self.reset = False
 
 
 class TCPListener:
@@ -163,6 +207,14 @@ class INetSocket(OpenFile):
         self.options: dict = {}
         self.shut_rd = False
         self.shut_wr = False
+        # Deadline/keepalive policy (virtual ns; 0 = disabled), set via
+        # setsockopt and honoured by every blocking path below.
+        self.recv_timeout_ns = 0.0   # SO_RCVTIMEO: read/accept/recvfrom
+        self.send_timeout_ns = 0.0   # SO_SNDTIMEO: write against backpressure
+        self.keepalive = False       # SO_KEEPALIVE: probe idle connections
+        self.user_timeout_ns = 0.0   # TCP_USER_TIMEOUT: cap retransmission
+        self.keepidle_ns = float(TCP_KEEPIDLE_NS)
+        self.keepcnt = TCP_KEEPCNT_DEFAULT
         #: Datagram receive queue: (payload, source address, causal
         #: carrier) triples — the carrier is packet metadata, never data.
         self._dgrams: Deque[Tuple[bytes, Addr, object]] = deque()
@@ -198,6 +250,70 @@ class INetSocket(OpenFile):
             if self.type == SOCK_DGRAM:
                 self.stack.claim_udp(self.local, self)
         return self.local
+
+    def _block_interruptible(self, waitq: WaitQueue, timeout_ns: float) -> bool:
+        """Deadline-bounded interruptible block: True when woken by
+        activity, False when the virtual-time deadline expired first."""
+        machine = self.machine
+        woken = machine.scheduler.block_on_timeout(waitq, timeout_ns)
+        kernel = self._kernel()
+        thread = kernel.current_kthread_or_none()
+        if thread is not None:
+            kernel.check_interrupted(thread)
+        return woken
+
+    def _reset_connection(self, why: str) -> None:
+        """RST both directions (keepalive/user-timeout/retransmit-cap
+        expiry): wake every parked thread so nothing blocks forever, and
+        make the peer's next read raise ECONNRESET."""
+        connection = self.connection
+        if connection is None or connection.reset:
+            return
+        connection.reset = True
+        connection.a_to_b.open = False
+        connection.b_to_a.open = False
+        connection.a_to_b.waitq.wake_all()
+        connection.b_to_a.waitq.wake_all()
+        machine = self.machine
+        machine.emit("net", "reset", sock=self.sock_id, why=why)
+        obs = machine.obs
+        if obs is not None:
+            obs.metrics.counter("kernel.net.resets").inc()
+
+    def _keepalive_probe(self, connection: TCPConnection, misses: int) -> int:
+        """One keepalive probe over an idle connection; returns the
+        updated consecutive-miss count, resetting the connection and
+        raising ETIMEDOUT when ``keepcnt`` probes vanish in a row."""
+        machine = self.machine
+        stack = self.stack
+        link = connection.link
+        src, dst = self.local, self.peer
+        assert src is not None and dst is not None
+        stack.keepalive_probes += 1
+        down = False
+        if machine.faults is not None:
+            outcome = machine.faults.check(
+                "net.partition", dst=f"{dst[0]}:{dst[1]}", sock=self.sock_id,
+                phase="keepalive",
+            )
+            if outcome is not None:
+                down = True  # any outcome here == probe lost to the void
+        if not down and (stack.schedule is not None or stack.peers):
+            state = stack.conditions_for(dst[0], machine.clock.now_ns)
+            if state is not None and state.down:
+                down = True
+        machine.charge_ns(2 * link.latency_ns)  # probe + ACK round trip
+        if not down:
+            stack.log_segment("TCP", src, dst, 0, flag="KA")
+            return 0
+        stack.log_segment("TCP", src, dst, 0, flag="KA-DROP")
+        stack.drops += 1
+        stack.partition_drops += 1
+        misses += 1
+        if misses >= self.keepcnt:
+            self._reset_connection("keepalive timeout")
+            raise SyscallError(ETIMEDOUT, "keepalive timeout")
+        return misses
 
     # -- address plumbing ---------------------------------------------------
 
@@ -244,6 +360,20 @@ class INetSocket(OpenFile):
         return self.peer
 
     def setsockopt(self, level: int, option: int, value: object) -> None:
+        if level == SOL_SOCKET:
+            if option == SO_RCVTIMEO:
+                self.recv_timeout_ns = float(value) if value else 0.0  # type: ignore[arg-type]
+            elif option == SO_SNDTIMEO:
+                self.send_timeout_ns = float(value) if value else 0.0  # type: ignore[arg-type]
+            elif option == SO_KEEPALIVE:
+                self.keepalive = bool(value)
+        elif level == IPPROTO_TCP:
+            if option == TCP_USER_TIMEOUT:
+                self.user_timeout_ns = float(value) if value else 0.0  # type: ignore[arg-type]
+            elif option == TCP_KEEPIDLE:
+                self.keepidle_ns = float(value) if value else float(TCP_KEEPIDLE_NS)  # type: ignore[arg-type]
+            elif option == TCP_KEEPCNT:
+                self.keepcnt = int(value) if value else TCP_KEEPCNT_DEFAULT  # type: ignore[call-overload]
         self.options[(level, option)] = value
 
     def getsockopt(self, level: int, option: int) -> object:
@@ -277,6 +407,54 @@ class INetSocket(OpenFile):
                     )
                 else:
                     raise SyscallError(ETIMEDOUT, "fault injected: connect")
+        # SYN blackout: while the link is partitioned (scheduled window or
+        # net.partition fault), SYNs vanish.  Retransmit with exponential
+        # backoff — TCP_SYN_RETRIES lost SYNs surface ETIMEDOUT, so a
+        # permanent partition can never hang a connecting thread.
+        stack = self.stack
+        if (
+            machine.faults is not None
+            or stack.schedule is not None
+            or stack.peers
+        ):
+            attempts = 0
+            while True:
+                down = False
+                if machine.faults is not None:
+                    outcome = machine.faults.check(
+                        "net.partition", dst=f"{dst_ip}:{dst_port}",
+                        sock=self.sock_id, phase="connect",
+                    )
+                    if outcome is not None:
+                        if outcome.kind == "errno":
+                            raise SyscallError(
+                                int(outcome.value),  # type: ignore[call-overload]
+                                "fault injected: partition",
+                            )
+                        if outcome.kind == "delay":
+                            machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+                        down = True
+                if not down:
+                    state = stack.conditions_for(dst_ip, machine.clock.now_ns)
+                    if state is not None and state.down:
+                        down = True
+                if not down:
+                    break
+                attempts += 1
+                # No ephemeral port is consumed by a blacked-out SYN: the
+                # probe logs with port 0 so refused/timed-out connects
+                # keep today's port numbering byte-identical.
+                probe_src = (self._src_ip_for(dst_ip), 0)
+                stack.log_segment(
+                    "TCP", probe_src, (dst_ip, dst_port), 0, flag="SYN-DROP"
+                )
+                stack.drops += 1
+                stack.partition_drops += 1
+                machine.charge_ns(TCP_SYN_RTO_NS * (2 ** (attempts - 1)))
+                if attempts >= TCP_SYN_RETRIES:
+                    raise SyscallError(
+                        ETIMEDOUT, "connection timed out (partition)"
+                    )
         # The listening socket may live on a peer machine reached over
         # the segment (NetStack.connect_peer); the server endpoint must
         # be built on the *listener's* machine so its reads/writes charge
@@ -293,8 +471,15 @@ class INetSocket(OpenFile):
         dst = (dst_ip, dst_port)
         # Handshake: SYN / SYN-ACK / ACK = 1.5 RTT of flight time plus
         # connect-side CPU; each control segment lands in the packet log.
+        # A degraded window stretches the flight time by its latency
+        # multiplier (the expression is untouched when no schedule runs).
         machine.charge("net_connect_cpu")
-        machine.charge_ns(3 * link.latency_ns)
+        handshake_ns: float = 3 * link.latency_ns
+        if self.stack.schedule is not None or self.stack.peers:
+            state = self.stack.conditions_for(dst_ip, machine.clock.now_ns)
+            if state is not None:
+                handshake_ns *= state.latency_x
+        machine.charge_ns(handshake_ns)
         self.stack.log_segment("TCP", src, dst, 0, flag="SYN")
         self.stack.log_segment("TCP", dst, src, 0, flag="SYN-ACK")
         self.stack.log_segment("TCP", src, dst, 0, flag="ACK")
@@ -329,7 +514,13 @@ class INetSocket(OpenFile):
                 raise SyscallError(EINVAL, "listener closed")
             if self._nonblock():
                 raise SyscallError(EAGAIN, "no pending connections")
-            self._kernel().wait_interruptible(listener.accept_waitq)
+            if self.recv_timeout_ns:
+                if not self._block_interruptible(
+                    listener.accept_waitq, self.recv_timeout_ns
+                ):
+                    raise SyscallError(EAGAIN, "accept deadline expired")
+            else:
+                self._kernel().wait_interruptible(listener.accept_waitq)
         machine.charge("net_accept_cpu")
         return listener.pending.popleft()
 
@@ -381,15 +572,89 @@ class INetSocket(OpenFile):
                     )
                 else:
                     raise SyscallError(ECONNRESET, "fault injected: send")
+        corrupted = False
+        lat_x = 1.0
+        bw_x = 1.0
+        if machine.faults is not None and not dropped:
+            detail = dict(dst=f"{dst[0]}:{dst[1]}", size=nbytes, sock=self.sock_id)
+            outcome = machine.faults.check("net.partition", phase="send", **detail)
+            if outcome is not None:
+                if outcome.kind == "errno":
+                    raise SyscallError(
+                        int(outcome.value),  # type: ignore[call-overload]
+                        "fault injected: partition",
+                    )
+                # The segment never crosses the wire: pay the
+                # retransmission timeout (or the injected delay) plus one
+                # RTT, then hand the loss back to the caller — TCP
+                # retransmits (bounded), UDP gives the datagram up.
+                stack.log_segment(proto, src, dst, nbytes, flag="PART")
+                stack.drops += 1
+                stack.partition_drops += 1
+                wait_ns = (
+                    float(outcome.value)  # type: ignore[arg-type]
+                    if outcome.kind == "delay" and outcome.value
+                    else TCP_RTO_NS
+                )
+                machine.charge_ns(wait_ns + 2 * link.latency_ns)
+                return False
+            outcome = machine.faults.check("net.degrade", phase="send", **detail)
+            if outcome is not None:
+                if outcome.kind == "errno":
+                    raise SyscallError(
+                        int(outcome.value),  # type: ignore[call-overload]
+                        "fault injected: degrade",
+                    )
+                if outcome.kind == "delay" and outcome.value:
+                    machine.charge_ns(float(outcome.value))  # type: ignore[arg-type]
+            outcome = machine.faults.check("net.corrupt", phase="send", **detail)
+            if outcome is not None:
+                if outcome.kind == "errno":
+                    raise SyscallError(
+                        int(outcome.value),  # type: ignore[call-overload]
+                        "fault injected: corrupt",
+                    )
+                corrupted = True
+        if not dropped and (stack.schedule is not None or stack.peers):
+            state = stack.conditions_for(dst[0], machine.clock.now_ns)
+            if state is not None:
+                if state.down:
+                    # Scheduled partition window: same loss contract as
+                    # the net.partition fault above.
+                    stack.log_segment(proto, src, dst, nbytes, flag="PART")
+                    stack.drops += 1
+                    stack.partition_drops += 1
+                    machine.charge_ns(TCP_RTO_NS + 2 * link.latency_ns)
+                    return False
+                lat_x = state.latency_x
+                bw_x = state.bandwidth_x
+                if state.corrupt_every and stack.corrupt_take(
+                    dst[0], state.corrupt_every
+                ):
+                    corrupted = True
         segments = -(-nbytes // link.mtu) if nbytes else 1
         kb = max(1, -(-nbytes // 1024)) if nbytes else 0
         with machine.span("kernel.net.send", proto, sock=self.sock_id, bytes=nbytes):
             machine.charge("net_tx_per_segment", segments)
             if kb:
                 machine.charge("net_tx_per_kb", kb)
-            # Serialisation + one propagation delay for the flight.
-            machine.charge_ns(link.ns_per_kb * (nbytes / 1024.0) + link.latency_ns)
+            # Serialisation + one propagation delay for the flight (a
+            # degraded window multiplies both terms; 1.0 when clean, so
+            # the charge is bit-identical with conditions off).
+            machine.charge_ns(
+                link.ns_per_kb * bw_x * (nbytes / 1024.0) + link.latency_ns * lat_x
+            )
             if dropped and self.type == SOCK_DGRAM:
+                return False
+            if corrupted:
+                # The per-segment checksum catches the bit-flip on the
+                # far side: the damaged segment is logged, counted,
+                # dropped, and never delivered — the sender pays one
+                # retransmission timeout and goes again.
+                stack.log_segment(proto, src, dst, nbytes, flag="CSUM")
+                stack.drops += 1
+                stack.csum_drops += 1
+                machine.charge_ns(TCP_RTO_NS)
                 return False
             stack.log_segment(proto, src, dst, nbytes, flag=f"segs={segments}")
             stack.segments_sent += segments
@@ -423,13 +688,22 @@ class INetSocket(OpenFile):
             return self.sendto(data, self.peer)
         if self._tx is None:
             raise SyscallError(ENOTCONN, "socket not connected")
+        connection = self.connection
+        if connection is not None and connection.reset:
+            raise SyscallError(ECONNRESET, "connection reset by peer")
         if self.shut_wr or not self._tx.open:
             raise SyscallError(EPIPE, "peer closed")
         tx = self._tx
         while len(tx.buffer) >= SOCK_CAPACITY:
             if self._nonblock():
                 raise SyscallError(EAGAIN, "send buffer full")
-            self._kernel().wait_interruptible(tx.waitq)
+            if self.send_timeout_ns:
+                if not self._block_interruptible(tx.waitq, self.send_timeout_ns):
+                    raise SyscallError(EAGAIN, "send deadline expired")
+            else:
+                self._kernel().wait_interruptible(tx.waitq)
+            if connection is not None and connection.reset:
+                raise SyscallError(ECONNRESET, "connection reset by peer")
             if not tx.open:
                 raise SyscallError(EPIPE, "peer closed")
         connection = self.connection
@@ -437,8 +711,24 @@ class INetSocket(OpenFile):
         link = connection.link
         src, dst = (self.local, self.peer)
         assert src is not None and dst is not None
+        start_ns = self.machine.clock.now_ns
+        retries = 0
         while not self._charge_tx(link, len(data), src, dst, "TCP"):
-            pass  # TCP retransmits the lost segment until it lands
+            # TCP retransmits the lost segment until it lands — bounded
+            # by TCP_USER_TIMEOUT and the kernel retransmission cap, so a
+            # permanent partition surfaces ETIMEDOUT instead of spinning.
+            if connection.reset:
+                raise SyscallError(ECONNRESET, "connection reset by peer")
+            retries += 1
+            if (
+                self.user_timeout_ns
+                and self.machine.clock.now_ns - start_ns >= self.user_timeout_ns
+            ):
+                self._reset_connection("tcp user timeout")
+                raise SyscallError(ETIMEDOUT, "tcp user timeout")
+            if retries >= TCP_MAX_RETRANSMITS:
+                self._reset_connection("retransmission cap")
+                raise SyscallError(ETIMEDOUT, "retransmission cap reached")
         # Windowed send: one ACK round trip per congestion window's worth
         # of unacknowledged bytes.
         tx.unacked += len(data)
@@ -462,12 +752,28 @@ class INetSocket(OpenFile):
         if self._rx is None:
             raise SyscallError(ENOTCONN, "socket not connected")
         rx = self._rx
+        connection = self.connection
+        misses = 0
         while not rx.buffer:
+            if connection is not None and connection.reset:
+                raise SyscallError(ECONNRESET, "connection reset by peer")
             if not rx.open or self.shut_rd:
                 return b""
             if self._nonblock():
                 raise SyscallError(EAGAIN, "socket empty")
-            self._kernel().wait_interruptible(rx.waitq)
+            if self.keepalive and connection is not None:
+                # Probe the silent peer every keepidle interval; keepcnt
+                # consecutive lost probes reset the connection, so a
+                # reader behind a partition unblocks with ETIMEDOUT.
+                if self._block_interruptible(rx.waitq, self.keepidle_ns):
+                    misses = 0
+                else:
+                    misses = self._keepalive_probe(connection, misses)
+            elif self.recv_timeout_ns:
+                if not self._block_interruptible(rx.waitq, self.recv_timeout_ns):
+                    raise SyscallError(EAGAIN, "receive deadline expired")
+            else:
+                self._kernel().wait_interruptible(rx.waitq)
         connection = self.connection
         assert connection is not None
         data = bytes(rx.buffer[:nbytes])
@@ -497,8 +803,8 @@ class INetSocket(OpenFile):
         src = self._autobind(dst[0])
         if not self._charge_tx(link, len(data), src, dst, "UDP"):
             return len(data)  # dropped in flight; UDP does not retransmit
-        if dst == (DNS_SERVER_IP, DNS_PORT):
-            self._dns_respond(bytes(data), src, link)
+        if dst[1] == DNS_PORT and dst[0] in DNS_SERVERS:
+            self._dns_respond(bytes(data), src, link, (dst[0], DNS_PORT))
             return len(data)
         target = self.stack.stack_for(dst[0]).lookup_udp(dst[0], dst[1])
         if target is None:
@@ -525,7 +831,13 @@ class INetSocket(OpenFile):
                 return b"", (WILDCARD_IP, 0)
             if self._nonblock():
                 raise SyscallError(EAGAIN, "no datagram queued")
-            self._kernel().wait_interruptible(self._dgram_waitq)
+            if self.recv_timeout_ns:
+                if not self._block_interruptible(
+                    self._dgram_waitq, self.recv_timeout_ns
+                ):
+                    raise SyscallError(EAGAIN, "receive deadline expired")
+            else:
+                self._kernel().wait_interruptible(self._dgram_waitq)
         data, src, carrier = self._dgrams.popleft()
         link = self.stack.route(src[0]) if src[0] != WILDCARD_IP else self.stack.links["lo"]
         self._charge_rx(link, len(data), "UDP")
@@ -537,19 +849,21 @@ class INetSocket(OpenFile):
 
     # -- the deterministic stub resolver -------------------------------------
 
-    def _dns_respond(self, query: bytes, client: Addr, link: "LinkProfile") -> None:
-        """The in-stack DNS server at 10.0.2.3:53.
+    def _dns_respond(
+        self, query: bytes, client: Addr, link: "LinkProfile", server: Addr
+    ) -> None:
+        """The in-stack DNS servers (primary 10.0.2.3:53, secondary
+        10.0.2.4:53 — ``getaddrinfo`` fails over between them).
 
         Wire format (plain text, deterministic): query ``b"Q <name>"``,
         answer ``b"A <name> <ip>"`` or ``b"NX <name>"``.  The reply is a
-        real datagram: logged, charged one reply-flight latency, queued on
-        the asking socket.
+        real datagram from the queried server: logged, charged one
+        reply-flight latency, queued on the asking socket.
         """
         stack = self.stack
         name = query[2:].decode() if query.startswith(b"Q ") else ""
         ip = stack.resolve_name(name)
         answer = f"A {name} {ip}".encode() if ip else f"NX {name}".encode()
-        server = (DNS_SERVER_IP, DNS_PORT)
         self.machine.charge_ns(link.latency_ns)  # reply propagation
         stack.log_segment("UDP", server, client, len(answer), flag="DNS")
         self._dgrams.append((answer, server, None))

@@ -56,6 +56,9 @@ INJECTION_POINTS = (
     "ipc.qfull",       # MachIPC send with a full queue (backpressure)
     "net.connect",     # repro.net TCP handshake (ECONNREFUSED/ETIMEDOUT/delay)
     "net.send",        # repro.net transmit path (drop -> retransmit, errno)
+    "net.partition",   # repro.net link blackout (SYN/segment/probe lost)
+    "net.degrade",     # repro.net latency spike on a transmit flight
+    "net.corrupt",     # repro.net bit-flip -> checksum drop -> retransmit
 )
 
 # -- outcomes -------------------------------------------------------------------
@@ -449,5 +452,57 @@ def chaos_plan(seed: int, probability: float = 0.02) -> FaultPlan:
         FaultOutcome.delay(1_000_000),
         rule_id="chaos-net-send",
         probability=probability,
+    )
+    plan.rule(
+        "net.partition",
+        # A transient blackout: the segment/SYN/keepalive probe vanishes
+        # (PART log line), the caller pays the injected wait plus an RTT
+        # and retransmits — recoverable as long as the next check clears.
+        FaultOutcome.delay(1_500_000),
+        rule_id="chaos-net-partition",
+        probability=probability / 4,
+    )
+    plan.rule(
+        "net.degrade",
+        # Latency spike on one flight (charged on top of the normal
+        # serialisation + propagation cost).
+        FaultOutcome.delay(500_000),
+        rule_id="chaos-net-degrade",
+        probability=probability,
+    )
+    plan.rule(
+        "net.corrupt",
+        # Bit-flip in flight: the per-segment checksum catches it (CSUM
+        # log line), the segment is dropped and retransmitted.
+        FaultOutcome.delay(0),
+        rule_id="chaos-net-corrupt",
+        probability=probability / 4,
+    )
+    # Previously silently-skipped points, now exercised with transient
+    # delay outcomes (every site charges a delay and proceeds, so the
+    # chaos mix stays recoverable by construction).
+    plan.rule(
+        "syscall.exit",
+        FaultOutcome.delay(50_000),
+        rule_id="chaos-syscall-exit",
+        probability=probability / 4,
+    )
+    plan.rule(
+        "vfs.lookup",
+        FaultOutcome.delay(20_000),
+        rule_id="chaos-vfs-lookup",
+        probability=probability / 4,
+    )
+    plan.rule(
+        "mm.reserve",
+        FaultOutcome.delay(30_000),
+        rule_id="chaos-mm-reserve",
+        probability=probability / 4,
+    )
+    plan.rule(
+        "vfs.write",
+        FaultOutcome.delay(20_000),
+        rule_id="chaos-vfs-write",
+        probability=probability / 4,
     )
     return plan

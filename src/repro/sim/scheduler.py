@@ -215,6 +215,14 @@ class Scheduler:
         #: machine, context switches are counted here.  None on the fast
         #: path — one boolean test per dispatch.
         self.obs: Optional[object] = None
+        #: True while an outer world driver (``run_world``) owns timer
+        #: firing.  A lone machine may jump its own clock to the next
+        #: timer the moment its ready queue drains; in a world that
+        #: would expire deadlines (e.g. SO_RCVTIMEO) while a peer
+        #: machine still holds the wakeup — so dispatch defers to the
+        #: driver, which fires the globally nearest timer only when
+        #: *every* machine is blocked.
+        self.world_driven = False
 
     # -- public API --------------------------------------------------------
 
@@ -615,7 +623,7 @@ class Scheduler:
         """Give up the token; regain it when rescheduled."""
         from_thread.blocked_since_ns = self.clock.now_ns
         target = self._pick_next()
-        if target is None and self._fire_due_timers():
+        if target is None and not self.world_driven and self._fire_due_timers():
             target = self._pick_next()
         if target is from_thread:
             from_thread.blocked_since_ns = None
@@ -650,7 +658,7 @@ class Scheduler:
             return
         thread._joiners.wake_all()
         target = self._pick_next()
-        if target is None and self._fire_due_timers():
+        if target is None and not self.world_driven and self._fire_due_timers():
             target = self._pick_next()
         self._current = target if target is not None else self._controller
         self._current._wake()

@@ -1,0 +1,840 @@
+"""Partition tolerance: link schedules, socket deadlines, circuit breakers.
+
+The headline assertions of this file:
+
+* **bounded failure** — under scripted partitions, flaps, and corruption
+  every blocking socket path resolves with a typed errno (EAGAIN,
+  ETIMEDOUT, ECONNRESET) in bounded, deterministic virtual time; nothing
+  hangs and corrupted payload is *never* delivered.
+* **dead peers look readable** — select/poll/kqueue report a reset or
+  EOF'd connection as readable (the read then surfaces ECONNRESET or
+  EOF immediately), so event loops never park on a dead socket.
+* **pass-through** — the deadline/option machinery rides the shared
+  kernel socket layer: the iOS persona pays exactly
+  ``n_traps x xnu_translate_syscall`` more than Linux for the identical
+  workload, and ``getsockopt`` dispatches to the same handler object
+  from both tables.
+* **determinism** — same-seed resilience engines draw identical backoff
+  jitter; the partition sweep prints byte-identical reports.
+"""
+
+import fnmatch
+
+import pytest
+
+from repro.cider.system import build_cider, build_vanilla_android
+from repro.kernel import errno as E
+from repro.net.conditions import (
+    DIR_IN,
+    DIR_OUT,
+    LinkSchedule,
+    LinkWindow,
+)
+from repro.net.netstack import (
+    DNS_SERVER_IP,
+    DNS_SERVERS,
+    DNS_RETRIES,
+    DNS_TIMEOUT_NS,
+)
+from repro.net.sockets import (
+    AF_INET,
+    IPPROTO_TCP,
+    SO_KEEPALIVE,
+    SO_RCVTIMEO,
+    SO_SNDTIMEO,
+    SOCK_CAPACITY,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    SOL_SOCKET,
+    TCP_KEEPCNT,
+    TCP_KEEPIDLE,
+    TCP_MAX_RETRANSMITS,
+    TCP_RTO_NS,
+    TCP_SYN_RETRIES,
+    TCP_SYN_RTO_NS,
+    TCP_USER_TIMEOUT,
+)
+from repro.sim.faults import (
+    INJECTION_POINTS,
+    FaultOutcome,
+    FaultPlan,
+    FaultRule,
+    chaos_plan,
+)
+
+from helpers import run_elf, run_macho
+
+MS = 1_000_000.0
+
+
+@pytest.fixture(scope="module")
+def vanilla():
+    system = build_vanilla_android()
+    yield system
+    system.shutdown()
+
+
+@pytest.fixture(scope="module")
+def cider():
+    system = build_cider()
+    yield system
+    system.shutdown()
+
+
+@pytest.fixture(scope="module")
+def cider_httpd():
+    system = build_cider(with_httpd=True)
+    yield system
+    system.shutdown()
+
+
+# -- link schedules (pure virtual-time functions) -------------------------------
+
+
+class TestLinkSchedule:
+    def test_partition_window_is_down_inside_only(self):
+        sched = LinkSchedule([LinkWindow.partition(100.0, 200.0)])
+        assert not sched.conditions_at(99.0, DIR_OUT).down
+        assert sched.conditions_at(100.0, DIR_OUT).down
+        assert sched.conditions_at(199.0, DIR_IN).down
+        assert not sched.conditions_at(200.0, DIR_OUT).down  # half-open
+
+    def test_one_way_partition_filters_by_direction(self):
+        sched = LinkSchedule(
+            [LinkWindow.partition(0.0, 100.0, direction=DIR_IN)]
+        )
+        assert sched.conditions_at(50.0, DIR_IN).down
+        assert not sched.conditions_at(50.0, DIR_OUT).down
+
+    def test_flap_is_up_first_half_period(self):
+        sched = LinkSchedule(
+            [LinkWindow.flap(0.0, 1000.0, period_ns=100.0)]
+        )
+        assert not sched.conditions_at(10.0, DIR_OUT).down  # up phase
+        assert sched.conditions_at(60.0, DIR_OUT).down  # down phase
+        assert not sched.conditions_at(110.0, DIR_OUT).down  # next period
+
+    def test_overlapping_degrades_multiply(self):
+        sched = LinkSchedule(
+            [
+                LinkWindow.degrade(0.0, 100.0, latency_x=2.0, bandwidth_x=3.0),
+                LinkWindow.degrade(0.0, 100.0, latency_x=4.0),
+            ]
+        )
+        state = sched.conditions_at(50.0, DIR_OUT)
+        assert state.latency_x == 8.0
+        assert state.bandwidth_x == 3.0
+        assert not state.down and not state.clean
+
+    def test_smallest_corrupt_stride_wins_and_take_counts(self):
+        sched = LinkSchedule(
+            [
+                LinkWindow.corrupt(0.0, 100.0, every=4),
+                LinkWindow.corrupt(0.0, 100.0, every=2),
+            ]
+        )
+        assert sched.conditions_at(1.0, DIR_OUT).corrupt_every == 2
+        # every=2: segments 2, 4, 6 ... are the damaged ones.
+        assert [sched.corrupt_take(2) for _ in range(4)] == [
+            False, True, False, True,
+        ]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            LinkWindow.partition(100.0, 100.0)  # empty
+        with pytest.raises(ValueError):
+            LinkWindow(0.0, 1.0, "partition", direction="sideways")
+        with pytest.raises(ValueError):
+            LinkWindow.flap(0.0, 100.0, period_ns=0.0)
+
+
+# -- kernel-enforced socket deadlines -------------------------------------------
+
+
+def _loopback_pair(libc, port):
+    srv = libc.socket(AF_INET, SOCK_STREAM)
+    libc.bind(srv, ("127.0.0.1", port))
+    libc.listen(srv, 4)
+    cli = libc.socket(AF_INET, SOCK_STREAM)
+    libc.connect(cli, ("127.0.0.1", port))
+    conn = libc.accept(srv)
+    return srv, cli, conn
+
+
+class TestSocketDeadlines:
+    def test_recv_deadline_surfaces_eagain(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            clock = ctx.machine.clock
+            srv, cli, conn = _loopback_pair(libc, 7101)
+            libc.setsockopt(cli, SOL_SOCKET, SO_RCVTIMEO, 7 * MS)
+            start = clock.now_ns
+            got = libc.read(cli, 16)  # no data will ever arrive
+            err = libc.errno
+            elapsed = clock.now_ns - start
+            for fd in (conn, cli, srv):
+                libc.close(fd)
+            return got, err, elapsed
+
+        got, err, elapsed = run_elf(vanilla, body)
+        assert got == -1 and err == E.EAGAIN
+        assert 7 * MS <= elapsed < 8 * MS  # deadline, not a hang
+
+    def test_accept_deadline_surfaces_eagain(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            clock = ctx.machine.clock
+            srv = libc.socket(AF_INET, SOCK_STREAM)
+            libc.bind(srv, ("127.0.0.1", 7102))
+            libc.listen(srv, 4)
+            libc.setsockopt(srv, SOL_SOCKET, SO_RCVTIMEO, 5 * MS)
+            start = clock.now_ns
+            result = libc.accept(srv)
+            err = libc.errno
+            elapsed = clock.now_ns - start
+            libc.close(srv)
+            return result, err, elapsed
+
+        result, err, elapsed = run_elf(vanilla, body)
+        assert result == -1 and err == E.EAGAIN
+        assert 5 * MS <= elapsed < 6 * MS
+
+    def test_recvfrom_deadline_surfaces_eagain(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            clock = ctx.machine.clock
+            fd = libc.socket(AF_INET, SOCK_DGRAM)
+            libc.bind(fd, ("127.0.0.1", 7103))
+            libc.setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, 5 * MS)
+            start = clock.now_ns
+            result = libc.recvfrom(fd, 512)
+            err = libc.errno
+            elapsed = clock.now_ns - start
+            libc.close(fd)
+            return result, err, elapsed
+
+        result, err, elapsed = run_elf(vanilla, body)
+        assert result == -1 and err == E.EAGAIN
+        assert 5 * MS <= elapsed < 6 * MS
+
+    def test_send_deadline_bounds_backpressure(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            clock = ctx.machine.clock
+            srv, cli, conn = _loopback_pair(libc, 7104)
+            libc.setsockopt(cli, SOL_SOCKET, SO_SNDTIMEO, 5 * MS)
+            # Fill the peer's receive stream; nobody ever drains it.
+            sent = 0
+            while sent < SOCK_CAPACITY:
+                sent += libc.write(cli, b"x" * 4096)
+            start = clock.now_ns
+            result = libc.write(cli, b"one more byte")
+            err = libc.errno
+            elapsed = clock.now_ns - start
+            for fd in (conn, cli, srv):
+                libc.close(fd)
+            return result, err, elapsed
+
+        result, err, elapsed = run_elf(vanilla, body)
+        assert result == -1 and err == E.EAGAIN
+        assert 5 * MS <= elapsed < 6 * MS
+
+    def test_getsockopt_roundtrip_both_personas(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            fd = libc.socket(AF_INET, SOCK_STREAM)
+            libc.setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, 9 * MS)
+            libc.setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, 1)
+            libc.setsockopt(fd, IPPROTO_TCP, TCP_USER_TIMEOUT, 11 * MS)
+            values = (
+                libc.getsockopt(fd, SOL_SOCKET, SO_RCVTIMEO),
+                libc.getsockopt(fd, SOL_SOCKET, SO_KEEPALIVE),
+                libc.getsockopt(fd, IPPROTO_TCP, TCP_USER_TIMEOUT),
+            )
+            libc.close(fd)
+            return values
+
+        expected = (9 * MS, 1, 11 * MS)
+        assert run_elf(cider, body) == expected
+        assert run_macho(cider, body) == expected
+
+
+# -- transport under partition --------------------------------------------------
+
+
+def _partition_now(machine, duration_ns=1_000 * MS):
+    """Blackout this machine's wlan0 from 'now' for the given duration."""
+    now = machine.clock.now_ns
+    return machine.net.install_schedule(
+        LinkSchedule([LinkWindow.partition(now, now + duration_ns)])
+    )
+
+
+class TestPartitionedTransport:
+    def test_syn_retries_then_etimedout(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            machine = ctx.machine
+            clock = machine.clock
+            _partition_now(machine)
+            try:
+                fd = libc.socket(AF_INET, SOCK_STREAM)
+                start = clock.now_ns
+                result = libc.connect(fd, (machine.net.host_ip, 7201))
+                err = libc.errno
+                elapsed = clock.now_ns - start
+                libc.close(fd)
+                return result, err, elapsed
+            finally:
+                machine.net.schedule = None
+
+        result, err, elapsed = run_elf(vanilla, body)
+        assert result == -1 and err == E.ETIMEDOUT
+        # The whole exponential SYN budget, then the typed failure.
+        budget = sum(
+            TCP_SYN_RTO_NS * (2 ** n) for n in range(TCP_SYN_RETRIES)
+        )
+        assert budget <= elapsed < budget + 2 * MS
+
+    def test_user_timeout_resets_then_select_reports_readable(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            machine = ctx.machine
+            clock = machine.clock
+            srv = libc.socket(AF_INET, SOCK_STREAM)
+            libc.bind(srv, (machine.net.host_ip, 7202))
+            libc.listen(srv, 4)
+            cli = libc.socket(AF_INET, SOCK_STREAM)
+            libc.connect(cli, (machine.net.host_ip, 7202))
+            conn = libc.accept(srv)
+            libc.setsockopt(cli, IPPROTO_TCP, TCP_USER_TIMEOUT, 8 * MS)
+            _partition_now(machine)
+            try:
+                start = clock.now_ns
+                result = libc.write(cli, b"into the void")
+                err = libc.errno
+                elapsed = clock.now_ns - start
+                # Dead-peer readiness: the reset socket polls readable
+                # instantly (twice — readability must be level, not
+                # edge, triggered), and the read types the failure.
+                polls = []
+                for _ in range(2):
+                    t0 = clock.now_ns
+                    ready_r, _w = libc.select([cli], [], 50 * MS)
+                    polls.append((list(ready_r), clock.now_ns - t0))
+                read_result = libc.read(cli, 16)
+                read_err = libc.errno
+                for fd in (conn, cli, srv):
+                    libc.close(fd)
+                return result, err, elapsed, polls, read_result, read_err
+            finally:
+                machine.net.schedule = None
+
+        result, err, elapsed, polls, read_result, read_err = run_elf(
+            vanilla, body
+        )
+        assert result == -1 and err == E.ETIMEDOUT
+        assert 8 * MS <= elapsed < 16 * MS
+        for ready, took in polls:
+            assert ready == [0 + ready[0]] and took < 1 * MS  # immediate
+        assert read_result == -1 and read_err == E.ECONNRESET
+
+    def test_retransmit_cap_bounds_unacked_write(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            machine = ctx.machine
+            clock = machine.clock
+            before = machine.net.partition_drops
+            srv = libc.socket(AF_INET, SOCK_STREAM)
+            libc.bind(srv, (machine.net.host_ip, 7203))
+            libc.listen(srv, 4)
+            cli = libc.socket(AF_INET, SOCK_STREAM)
+            libc.connect(cli, (machine.net.host_ip, 7203))
+            conn = libc.accept(srv)
+            _partition_now(machine)
+            try:
+                start = clock.now_ns
+                result = libc.write(cli, b"lost forever")
+                err = libc.errno
+                elapsed = clock.now_ns - start
+                drops = machine.net.partition_drops - before
+                for fd in (conn, cli, srv):
+                    libc.close(fd)
+                return result, err, elapsed, drops
+            finally:
+                machine.net.schedule = None
+
+        result, err, elapsed, drops = run_elf(vanilla, body)
+        assert result == -1 and err == E.ETIMEDOUT
+        assert drops == TCP_MAX_RETRANSMITS  # the link ate every retry
+        # Every retransmit pays at least one RTO; the cap bounds it all.
+        assert TCP_MAX_RETRANSMITS * TCP_RTO_NS <= elapsed < 120 * MS
+
+    def test_keepalive_probes_reset_idle_connection(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            machine = ctx.machine
+            clock = machine.clock
+            before = machine.net.keepalive_probes
+            srv = libc.socket(AF_INET, SOCK_STREAM)
+            libc.bind(srv, (machine.net.host_ip, 7204))
+            libc.listen(srv, 4)
+            cli = libc.socket(AF_INET, SOCK_STREAM)
+            libc.connect(cli, (machine.net.host_ip, 7204))
+            conn = libc.accept(srv)
+            libc.setsockopt(cli, SOL_SOCKET, SO_KEEPALIVE, 1)
+            libc.setsockopt(cli, IPPROTO_TCP, TCP_KEEPIDLE, 5 * MS)
+            libc.setsockopt(cli, IPPROTO_TCP, TCP_KEEPCNT, 2)
+            _partition_now(machine)
+            try:
+                start = clock.now_ns
+                result = libc.read(cli, 16)  # silent peer behind a wall
+                err = libc.errno
+                elapsed = clock.now_ns - start
+                probes = machine.net.keepalive_probes - before
+                for fd in (conn, cli, srv):
+                    libc.close(fd)
+                return result, err, elapsed, probes
+            finally:
+                machine.net.schedule = None
+
+        result, err, elapsed, probes = run_elf(vanilla, body)
+        assert result == -1 and err == E.ETIMEDOUT
+        assert probes == 2  # keepcnt misses, then the reset
+        # idle interval + keepcnt probe intervals, then the typed error
+        assert 2 * 5 * MS <= elapsed < 4 * 5 * MS
+
+    def test_corruption_is_detected_never_delivered(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            machine = ctx.machine
+            before = machine.net.csum_drops
+            srv = libc.socket(AF_INET, SOCK_STREAM)
+            libc.bind(srv, (machine.net.host_ip, 7205))
+            libc.listen(srv, 4)
+            cli = libc.socket(AF_INET, SOCK_STREAM)
+            libc.connect(cli, (machine.net.host_ip, 7205))
+            conn = libc.accept(srv)
+            now = machine.clock.now_ns
+            machine.net.install_schedule(
+                LinkSchedule(
+                    [LinkWindow.corrupt(now, now + 1_000 * MS, every=2)]
+                )
+            )
+            try:
+                payload = bytes(range(256)) * 16  # 4 KB, recognisable
+                sent = 0
+                for off in range(0, len(payload), 1024):
+                    sent += libc.write(cli, payload[off : off + 1024])
+                got = b""
+                while len(got) < len(payload):
+                    got += libc.read(conn, 4096)
+                drops = machine.net.csum_drops - before
+                for fd in (conn, cli, srv):
+                    libc.close(fd)
+                return sent, got == payload, drops
+            finally:
+                machine.net.schedule = None
+
+        sent, intact, drops = run_elf(vanilla, body)
+        assert sent == 4096
+        assert intact  # retransmission delivered the exact bytes
+        assert drops >= 2  # ...and the damaged flights were caught
+
+
+# -- dead-peer readiness (select / poll / kqueue) -------------------------------
+
+
+class TestDeadPeerReadiness:
+    def test_select_reports_eof_peer_readable(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            clock = ctx.machine.clock
+            srv, cli, conn = _loopback_pair(libc, 7301)
+            libc.close(conn)  # peer goes away cleanly
+            t0 = clock.now_ns
+            ready_r, _w = libc.select([cli], [], 50 * MS)
+            took = clock.now_ns - t0
+            got = libc.read(cli, 16)
+            libc.close(cli)
+            libc.close(srv)
+            return list(ready_r), took, got
+
+        ready, took, got = run_elf(vanilla, body)
+        assert ready and took < 1 * MS  # EOF is readable *now*
+        assert got == b""  # ...and reads as EOF, not a hang
+
+    def test_kqueue_reports_dead_peer_readable(self, cider):
+        def body(ctx):
+            from repro.ios.kqueue import (
+                EV_ADD,
+                EVFILT_READ,
+                KEvent,
+                kevent,
+                kqueue,
+            )
+
+            libc = ctx.libc
+            clock = ctx.machine.clock
+            srv, cli, conn = _loopback_pair(libc, 7302)
+            kq = kqueue(ctx)
+            changes = [KEvent(cli, EVFILT_READ, EV_ADD)]
+            quiet = kevent(ctx, kq, changes, timeout_ns=0)
+            libc.close(conn)
+            t0 = clock.now_ns
+            events = kevent(ctx, kq, timeout_ns=50 * MS)
+            took = clock.now_ns - t0
+            got = libc.read(cli, 16)
+            libc.close(cli)
+            libc.close(srv)
+            return len(quiet), [(e.ident, e.filter) for e in events], took, got
+
+        quiet, events, took, got = run_macho(cider, body)
+        assert quiet == 0  # live idle peer: nothing pending
+        assert events and events[0][1] == -1  # EVFILT_READ fired
+        assert took < 1 * MS and got == b""
+
+
+# -- DNS: failover and retry exhaustion -----------------------------------------
+
+
+def _drop_sends_to(ip):
+    """A rule that silently loses every datagram toward ``ip``."""
+    return FaultRule(
+        "net.send",
+        FaultOutcome.delay(0),
+        rule_id=f"drop:{ip}",
+        predicate=lambda detail: str(detail.get("dst", "")).startswith(
+            ip + ":"
+        ),
+    )
+
+
+class TestDNS:
+    def test_failover_to_secondary_server(self, vanilla):
+        def body(ctx):
+            libc = ctx.libc
+            machine = ctx.machine
+            clock = machine.clock
+            machine.install_fault_plan(
+                FaultPlan(seed=1, rules=[_drop_sends_to(DNS_SERVER_IP)])
+            )
+            try:
+                start = clock.now_ns
+                ip = libc.getaddrinfo(machine.profile.name)
+                return ip, clock.now_ns - start
+            finally:
+                machine.clear_fault_plan()
+
+        ip, elapsed = run_elf(vanilla, body)
+        assert ip == vanilla.machine.net.host_ip  # resolved anyway
+        # ...after burning the primary's full retry budget first.
+        assert elapsed >= DNS_RETRIES * DNS_TIMEOUT_NS
+
+    def test_exhaustion_is_typed_bounded_and_persona_exact(self, cider):
+        def body(ctx):
+            libc = ctx.libc
+            machine = ctx.machine
+            clock = machine.clock
+            trace = machine.trace
+            rules = [_drop_sends_to(ip) for ip in DNS_SERVERS]
+            machine.install_fault_plan(FaultPlan(seed=1, rules=rules))
+            try:
+                start_ps = clock.charged_ps
+                start_ns = clock.now_ns
+                start_all = trace.count("syscall")
+                start_xnu = trace.count("syscall", "xnu")
+                ip = libc.getaddrinfo("unreachable.sim")
+                err = ctx.thread.errno
+                return (
+                    ip,
+                    err,
+                    clock.now_ns - start_ns,
+                    clock.charged_ps - start_ps,
+                    trace.count("syscall") - start_all,
+                    trace.count("syscall", "xnu") - start_xnu,
+                )
+            finally:
+                machine.clear_fault_plan()
+
+        a_ip, a_err, a_ns, a_ps, a_traps, a_xnu = run_elf(cider, body)
+        i_ip, i_err, i_ns, i_ps, i_traps, i_xnu = run_macho(cider, body)
+
+        # The exact virtual budget: every query burns a full select
+        # timeout, and each dropped datagram still pays its flight plus
+        # the injected-loss penalty (2x propagation) on the wire.
+        sends = len(DNS_SERVERS) * DNS_RETRIES
+        wire = cider.machine.net.route(DNS_SERVER_IP).latency_ns
+        budget = sends * (DNS_TIMEOUT_NS + 3 * wire)
+        for ip, err, elapsed in ((a_ip, a_err, a_ns), (i_ip, i_err, i_ns)):
+            assert ip is None and err == E.ETIMEDOUT
+            assert budget <= elapsed < budget + 2 * MS  # exact-ish, no hang
+        # The wire exchange is byte-for-byte the same resolver loop:
+        # same trap count, and the iOS run costs exactly one translate
+        # dispatch per trap more — in charged work *and* on the clock;
+        # nothing else differs.
+        assert a_traps == i_traps and a_xnu == 0 and i_xnu == i_traps
+        dispatch_ps = cider.machine.cost_ps("xnu_translate_syscall")
+        assert i_ps - a_ps == i_xnu * dispatch_ps
+        assert (i_ns - a_ns) * 1000.0 == pytest.approx(i_xnu * dispatch_ps)
+
+
+# -- the client-side resilience engine ------------------------------------------
+
+
+class TestResilienceEngine:
+    def test_clean_fetch_single_attempt(self, cider_httpd):
+        def body(ctx):
+            from repro.net.http import ORIGIN_HOST
+            from repro.net.resilience import ResilienceEngine
+
+            engine = ResilienceEngine.shared(ctx)
+            result = engine.fetch(ctx, ORIGIN_HOST, "/hello")
+            return (
+                result.ok, result.status, bytes(result.body),
+                result.attempts, engine.summary(),
+            )
+
+        ok, status, body, attempts, summary = run_macho(cider_httpd, body)
+        assert ok and status == 200 and body.startswith(b"hello")
+        assert attempts == 1
+        assert summary["retries_spent"] == 0 and summary["fastfails"] == 0
+
+    def test_breaker_opens_fastfails_and_recovers(self, cider_httpd):
+        def body(ctx):
+            from repro.net.http import ORIGIN_HOST
+            from repro.net.resilience import (
+                ResilienceEngine,
+                ResiliencePolicy,
+            )
+
+            engine = ResilienceEngine.shared(
+                ctx,
+                ResiliencePolicy(
+                    max_attempts=2,
+                    breaker_threshold=2,
+                    breaker_cooldown_ns=10 * MS,
+                ),
+            )
+            libc = ctx.libc
+            sleep = getattr(libc, "nanosleep", None) or libc.sleep_ns
+            # Nothing listens on :7999 — two crisp refusals open it.
+            broken = engine.fetch(ctx, ORIGIN_HOST, "/hello", port=7999)
+            fast = engine.fetch(ctx, ORIGIN_HOST, "/hello", port=7999)
+            sleep(20 * MS)  # past the cooldown: next fetch is the probe
+            healed = engine.fetch(ctx, ORIGIN_HOST, "/hello")
+            arcs = [t[2] + "->" + t[3] for t in engine.transitions]
+            return (
+                (broken.status, broken.errno, broken.attempts),
+                (fast.status, fast.errno, fast.fastfail, fast.attempts),
+                (healed.status, healed.attempts),
+                arcs,
+            )
+
+        broken, fast, healed, arcs = run_macho(cider_httpd, body)
+        assert broken == (-1, E.ECONNREFUSED, 2)
+        assert fast == (-1, E.ECONNREFUSED, True, 0)  # never hit the wire
+        assert healed == (200, 1)  # the half-open probe itself
+        assert arcs == [
+            "closed->open", "open->half-open", "half-open->closed",
+        ]
+
+    def test_retry_budget_caps_process_wide_retries(self, cider_httpd):
+        def body(ctx):
+            from repro.net.http import ORIGIN_HOST
+            from repro.net.resilience import (
+                ResilienceEngine,
+                ResiliencePolicy,
+            )
+
+            engine = ResilienceEngine.shared(
+                ctx,
+                ResiliencePolicy(
+                    max_attempts=5, breaker_threshold=99, retry_budget=1
+                ),
+            )
+            result = engine.fetch(ctx, ORIGIN_HOST, "/hello", port=7999)
+            return result.attempts, engine.retries_spent
+
+        attempts, spent = run_macho(cider_httpd, body)
+        assert attempts == 2  # initial try + the single budgeted retry
+        assert spent == 1
+
+    def test_hedge_fires_when_attempt_overshoots_p95(self, cider_httpd):
+        def body(ctx):
+            from repro.net.http import ORIGIN_HOST
+            from repro.net.resilience import (
+                ResilienceEngine,
+                ResiliencePolicy,
+            )
+
+            machine = ctx.machine
+            engine = ResilienceEngine.shared(
+                ctx,
+                ResiliencePolicy(
+                    max_attempts=2,
+                    breaker_threshold=99,
+                    hedge_min_samples=2,
+                ),
+            )
+            # Two clean fetches seed the host's latency samples.
+            for _ in range(2):
+                assert engine.fetch(ctx, ORIGIN_HOST, "/hello").ok
+            # Now every connect is 30 ms slower than the p95 — and the
+            # port is dead, so each slow attempt still *fails*.
+            machine.install_fault_plan(
+                FaultPlan(
+                    seed=1,
+                    rules=[
+                        FaultRule(
+                            "net.connect", FaultOutcome.delay(30 * MS)
+                        )
+                    ],
+                )
+            )
+            try:
+                result = engine.fetch(
+                    ctx, ORIGIN_HOST, "/hello", port=7999
+                )
+            finally:
+                machine.clear_fault_plan()
+            return result.hedged, result.attempts, engine.hedges
+
+        hedged, attempts, hedges = run_macho(cider_httpd, body)
+        assert hedged and attempts == 2
+        assert hedges == 1  # the retry skipped backoff
+
+    def test_seeded_backoff_is_identical_across_processes(self, cider_httpd):
+        def body(ctx):
+            from repro.net.http import ORIGIN_HOST
+            from repro.net.resilience import (
+                ResilienceEngine,
+                ResiliencePolicy,
+            )
+
+            clock = ctx.machine.clock
+            engine = ResilienceEngine.shared(
+                ctx,
+                ResiliencePolicy(
+                    max_attempts=4, breaker_threshold=99, seed=42
+                ),
+            )
+            start = clock.now_ns
+            result = engine.fetch(ctx, ORIGIN_HOST, "/hello", port=7999)
+            return result.attempts, clock.now_ns - start
+
+        first = run_macho(cider_httpd, body)
+        second = run_macho(cider_httpd, body)
+        assert first[0] == 4
+        # Same seed => same jitter draws => bit-identical elapsed time.
+        assert first == second
+
+    def test_urlconnection_reports_typed_errno(self, cider_httpd):
+        def body(ctx):
+            from repro.android.urlconnection import url_open
+            from repro.net.http import ORIGIN_HOST
+
+            good = url_open(ctx, f"http://{ORIGIN_HOST}/hello")
+            bad = url_open(ctx, f"http://{ORIGIN_HOST}:7999/hello")
+            return (
+                good.get_response_code(), bytes(good.read_body()),
+                bad.get_response_code(), bad.errno,
+            )
+
+        good_code, good_body, bad_code, bad_errno = run_elf(
+            cider_httpd, body
+        )
+        assert good_code == 200 and good_body.startswith(b"hello")
+        assert bad_code == -1 and bad_errno == E.ECONNREFUSED
+
+
+# -- chaos coverage -------------------------------------------------------------
+
+
+class TestChaosCoverage:
+    def test_every_injection_point_has_a_chaos_rule(self):
+        plan = chaos_plan(seed=1)
+        patterns = [rule.point for rule in plan.rules]
+        uncovered = [
+            point
+            for point in INJECTION_POINTS
+            if not any(
+                pattern == point or fnmatch.fnmatchcase(point, pattern)
+                for pattern in patterns
+            )
+        ]
+        assert uncovered == [], f"chaos_plan silently skips: {uncovered}"
+
+    def test_net_points_are_registered(self):
+        for point in ("net.partition", "net.degrade", "net.corrupt"):
+            assert point in INJECTION_POINTS
+
+
+# -- pass-through: deadlines ride the shared kernel path ------------------------
+
+
+def _deadline_workload(port):
+    def body(ctx):
+        libc = ctx.libc
+        clock = ctx.machine.clock
+        trace = ctx.machine.trace
+        start_ps = clock.charged_ps
+        start_all = trace.count("syscall")
+        start_xnu = trace.count("syscall", "xnu")
+
+        srv, cli, conn = _loopback_pair(libc, port)
+        libc.setsockopt(cli, SOL_SOCKET, SO_RCVTIMEO, 3 * MS)
+        libc.setsockopt(cli, IPPROTO_TCP, TCP_USER_TIMEOUT, 50 * MS)
+        assert libc.getsockopt(cli, SOL_SOCKET, SO_RCVTIMEO) == 3 * MS
+        assert libc.read(cli, 16) == -1  # deadline EAGAIN
+        assert libc.errno == E.EAGAIN
+        for fd in (conn, cli, srv):
+            libc.close(fd)
+
+        return (
+            clock.charged_ps - start_ps,
+            trace.count("syscall") - start_all,
+            trace.count("syscall", "xnu") - start_xnu,
+        )
+
+    return body
+
+
+class TestPassThrough:
+    def test_deadline_workload_delta_is_exactly_dispatch(self, cider):
+        linux_ps, linux_traps, linux_xnu = run_elf(
+            cider, _deadline_workload(7401)
+        )
+        ios_ps, ios_traps, ios_xnu = run_macho(
+            cider, _deadline_workload(7402)
+        )
+        assert linux_traps == ios_traps
+        assert linux_xnu == 0 and ios_xnu == ios_traps
+        dispatch_ps = cider.machine.cost_ps("xnu_translate_syscall")
+        assert ios_ps - linux_ps == ios_xnu * dispatch_ps
+
+    def test_getsockopt_shares_one_handler(self, cider):
+        from repro.compat import xnu_abi
+        from repro.kernel import syscalls_linux as linux
+
+        personas = cider.kernel.personas
+        ios = personas.get("ios").abi.bsd
+        android = personas.get("android").abi.table
+        assert (
+            ios.lookup(xnu_abi.SYS_getsockopt)[1]
+            is android.lookup(linux.NR_getsockopt)[1]
+        )
+
+
+# -- the partition sweep itself -------------------------------------------------
+
+
+class TestPartitionSweep:
+    def test_mini_sweep_passes_and_is_byte_identical(self):
+        from repro.workloads.partsweep import run_sweep
+
+        first = run_sweep(max_cases=2)
+        second = run_sweep(max_cases=2)
+        assert first.passed == first.cases == 2
+        assert first.text() == second.text()
+        assert first.digest() == second.digest()
