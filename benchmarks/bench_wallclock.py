@@ -128,10 +128,24 @@ SCENARIOS: Dict[str, Callable[[], float]] = {
 # -- harness ------------------------------------------------------------------
 
 
-def run_suite(repeats: int) -> Dict[str, Dict[str, float]]:
+def run_suite(repeats: int, isolate: bool = True) -> Dict[str, Dict[str, float]]:
+    """Each repeat runs in a forked child (``repro.sim.parallel
+    .isolate_call``): scenarios measure a pristine process — no warm
+    linker/zone caches, interned state, or allocator history leaking
+    from previously-run scenarios — while still inheriting the parent's
+    imports.  ``--no-isolate`` (or a fork-less platform) falls back to
+    in-process measurement."""
+    from repro.sim.parallel import fork_available, isolate_call
+
+    isolate = isolate and fork_available()
     results: Dict[str, Dict[str, float]] = {}
     for name, fn in SCENARIOS.items():
-        best = min(fn() for _ in range(repeats))
+        runs = (
+            [isolate_call(fn) for _ in range(repeats)]
+            if isolate
+            else [fn() for _ in range(repeats)]
+        )
+        best = min(runs)
         results[name] = {"seconds": round(best, 4)}
         print(f"  {name:>20}: {best:8.3f} s")
     return results
@@ -159,10 +173,15 @@ def main(argv=None) -> int:
         help="regression gate: fail if > tolerance slower than committed",
     )
     parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument(
+        "--no-isolate",
+        action="store_true",
+        help="measure in-process instead of one forked child per repeat",
+    )
     args = parser.parse_args(argv)
 
     print(f"bench_wallclock: {args.repeats} repeats per scenario")
-    results = run_suite(args.repeats)
+    results = run_suite(args.repeats, isolate=not args.no_isolate)
     committed = load_json(args.out)
 
     if args.check:

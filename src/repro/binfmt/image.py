@@ -55,6 +55,10 @@ class Segment:
     size_bytes: int
     writable: bool = False
 
+    def __deepcopy__(self, memo: dict) -> "Segment":
+        # Frozen value object: boot-snapshot clones share it.
+        return self
+
 
 class Symbol:
     """One exported symbol of a binary image."""

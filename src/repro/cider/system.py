@@ -73,6 +73,18 @@ class System:
     def run_until_idle(self) -> None:
         self.machine.run()
 
+    def start_services(self) -> None:
+        """Run the builder's service recipe (launchd, supervised daemons).
+
+        Builders called with ``start_services=False`` stop at a
+        *quiescent* point — no simulated thread exists yet — which is the
+        only state a boot snapshot (:mod:`repro.sim.snapshot`) may
+        capture.  Each snapshot clone calls this to finish its own boot;
+        the combined charge is bit-identical to a fresh full build.
+        """
+        if self._start_services_fn is not None:
+            self._start_services_fn(self)
+
     def shutdown(self) -> None:
         self.machine.shutdown()
 
@@ -303,6 +315,7 @@ def build_vanilla_android(
     with_framework: bool = False,
     with_httpd: bool = False,
     durable: bool = False,
+    start_services: bool = True,
 ) -> System:
     """Configuration 1: unmodified Android.
 
@@ -310,6 +323,9 @@ def build_vanilla_android(
     under Android-init style supervision.  ``durable`` enables the
     journaled block device (seeded from the profile) so the system
     survives crash–reboot cycles with consistent storage.
+    ``start_services=False`` returns before any simulated thread is
+    spawned — the snapshot-safe quiescent point; finish the boot later
+    with :meth:`System.start_services`.
     """
     system = _boot_linux_kernel(profile or nexus7(), "vanilla-android")
 
@@ -331,7 +347,8 @@ def build_vanilla_android(
     system._start_services_fn = _services
     if durable:
         system.machine.storage.enable_journal(system.machine.profile.seed)
-    _services(system)
+    if start_services:
+        _services(system)
     return system
 
 
@@ -345,6 +362,7 @@ def build_cider(
     cow_fork: bool = False,
     with_httpd: bool = False,
     durable: bool = False,
+    start_services: bool = True,
 ) -> System:
     """Configurations 2 and 3: the Cider kernel on the Nexus 7.
 
@@ -360,7 +378,9 @@ def build_cider(
     ``durable`` puts the journaled block device under the VFS (enabled
     after the boot image is installed, so only post-boot files are
     journal-tracked); with it the system survives :meth:`System.reboot`
-    after a panic or power loss.
+    after a panic or power loss.  ``start_services=False`` stops at the
+    snapshot-safe quiescent point (no launchd, no simulated threads yet);
+    finish with :meth:`System.start_services`.
     """
     system = _boot_linux_kernel(profile or nexus7(), "cider")
 
@@ -397,7 +417,8 @@ def build_cider(
     system._start_services_fn = _services
     if durable:
         system.machine.storage.enable_journal(system.machine.profile.seed)
-    _services(system)
+    if start_services:
+        _services(system)
     return system
 
 

@@ -68,8 +68,25 @@ def zone_of(module_name: str) -> Zone:
     return best[1]
 
 
+#: Parsed-import cache.  Linking re-zone-checks the same framework
+#: modules on every app launch, and re-reading + ``ast``-parsing their
+#: source dominated the launch benchmark's wall-clock; module source
+#: never changes within a run, so the parse is cached per module.
+#: (Zone *validation* still runs on every check — only the import
+#: extraction is memoised.)
+_IMPORT_CACHE: Dict[Tuple[str, str], List[str]] = {}
+
+
 def _imported_modules(module: ModuleType) -> List[str]:
     """Absolute names of every module imported by ``module``'s source."""
+    key = (module.__name__, getattr(module, "__file__", None) or "")
+    cached = _IMPORT_CACHE.get(key)
+    if cached is None:
+        cached = _IMPORT_CACHE[key] = _parse_imported_modules(module)
+    return list(cached)  # callers own their copy; the cache stays pristine
+
+
+def _parse_imported_modules(module: ModuleType) -> List[str]:
     source = inspect.getsource(module)
     tree = ast.parse(source)
     package = module.__package__ or ""

@@ -38,6 +38,10 @@ class CompilerProfile:
     def factor(self, op_cost_name: str) -> float:
         return self._multipliers.get(op_cost_name, 1.0)
 
+    def __deepcopy__(self, memo: dict) -> "CompilerProfile":
+        # Process-wide toolchain constant: boot-snapshot clones share it.
+        return self
+
     def __repr__(self) -> str:
         return f"<CompilerProfile {self.name!r}>"
 

@@ -67,6 +67,34 @@ WILDCARD_IP = "0.0.0.0"
 EPHEMERAL_BASE = 49152
 
 
+class _StreamingDigest:
+    """SHA-256 fed one log line at a time.
+
+    Hashing ``line + "\\n"`` per line produces exactly the bytes of
+    ``"\\n".join(lines) + "\\n"``, so the digest equals the one computed
+    over the joined log — without materialising a copy of the whole log
+    on every :meth:`NetStack.log_digest` call (the sweep harnesses call
+    it once per case; busy logs run to thousands of lines).
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+
+    def update(self, line: str) -> None:
+        self._hash.update((line + "\n").encode())
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+    def __deepcopy__(self, memo: dict) -> "_StreamingDigest":
+        # Boot-snapshot clones need their own hash state; hashlib objects
+        # expose copy() for exactly this kind of branching.
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        clone._hash = self._hash.copy()
+        return clone
+
+
 class NetStack:
     """One machine's virtual network: interfaces, port tables, DNS, log."""
 
@@ -101,6 +129,7 @@ class NetStack:
         #: two same-seed runs produce identical logs.
         self._packet_log: List[str] = []
         self._packet_seq = 0
+        self._log_hash = _StreamingDigest()
         # Aggregate counters surfaced by run summaries (kept even when
         # the observatory is off so the demo's digest block is cheap).
         self.bytes_sent = 0
@@ -279,10 +308,12 @@ class NetStack:
     ) -> None:
         self._packet_seq += 1
         suffix = f" [{flag}]" if flag else ""
-        self._packet_log.append(
+        line = (
             f"{self._packet_seq:06d} {proto} "
             f"{src[0]}:{src[1]} > {dst[0]}:{dst[1]} len={length}{suffix}"
         )
+        self._packet_log.append(line)
+        self._log_hash.update(line)
 
     def packet_log(self) -> str:
         """The full log as one byte-comparable string."""
@@ -290,8 +321,11 @@ class NetStack:
 
     def log_digest(self) -> str:
         """SHA-256 over the packet log — the one-line determinism witness
-        printed by ``examples/netstack.py`` and the netbench summary."""
-        return hashlib.sha256(self.packet_log().encode()).hexdigest()
+        printed by ``examples/netstack.py`` and the netbench summary.
+        Fed incrementally as segments are logged; byte-identical to
+        hashing :meth:`packet_log` (``tests/test_parallel.py`` asserts
+        it)."""
+        return self._log_hash.hexdigest()
 
     def summary(self) -> Dict[str, object]:
         return {

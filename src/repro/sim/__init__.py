@@ -45,7 +45,22 @@ from .resources import (
     ResourceEnvelope,
     Rlimits,
 )
+from .parallel import (
+    WorkerError,
+    default_jobs,
+    fork_available,
+    isolate_call,
+    parse_jobs,
+    run_cases,
+)
 from .scheduler import Scheduler, SimThread, ThreadState, WaitQueue
+from .snapshot import (
+    Snapshot,
+    SnapshotCache,
+    SnapshotError,
+    assert_quiescent,
+    snapshot_systems,
+)
 from .trace import Trace, TraceEvent
 
 __all__ = [
@@ -87,6 +102,17 @@ __all__ = [
     "SimThread",
     "ThreadState",
     "WaitQueue",
+    "Snapshot",
+    "SnapshotCache",
+    "SnapshotError",
+    "assert_quiescent",
+    "snapshot_systems",
+    "WorkerError",
+    "default_jobs",
+    "fork_available",
+    "isolate_call",
+    "parse_jobs",
+    "run_cases",
     "Trace",
     "TraceEvent",
 ]

@@ -58,6 +58,19 @@ class _TokenHolder:
         if self._killed:
             raise ThreadKilled(self.name)
 
+    def __deepcopy__(self, memo: dict) -> "_TokenHolder":
+        # A threading.Event holds an OS lock and cannot be deep-copied.
+        # A holder is only ever cloned through a boot snapshot, taken at
+        # a quiescent point where nobody waits on the token — a fresh,
+        # unset event is exactly equivalent.  (SimThread overrides this:
+        # a *live* thread has an OS stack no copy can reproduce.)
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        clone.name = self.name
+        clone._go = threading.Event()
+        clone._killed = self._killed
+        return clone
+
 
 class _Timer:
     """A pending deadline for a sleeping or timed-blocked thread."""
@@ -138,6 +151,39 @@ class SimThread(_TokenHolder):
     @property
     def alive(self) -> bool:
         return self.state not in (ThreadState.DONE, ThreadState.KILLED)
+
+    def __deepcopy__(self, memo: dict) -> "SimThread":
+        if self.alive:
+            raise TypeError(
+                f"cannot deep-copy live simulated thread {self.name!r}; "
+                "snapshot machines only at a quiescent point "
+                "(no live SimThreads — see repro.sim.snapshot)"
+            )
+        # A finished thread may still be referenced (process tables,
+        # joiner bookkeeping).  Copy it as a tombstone: same identity and
+        # result, a fresh unset event, and no OS thread — it can never
+        # run again, and nothing will ever hand it the token.
+        import copy as _copy
+
+        clone = object.__new__(SimThread)
+        memo[id(self)] = clone
+        clone.name = self.name
+        clone._go = threading.Event()
+        clone._killed = self._killed
+        clone.sid = self.sid
+        clone.daemon = self.daemon
+        clone.state = self.state
+        clone.result = _copy.deepcopy(self.result, memo)
+        clone.failure = self.failure
+        clone.wait_channel = None
+        clone.last_ran_ns = self.last_ran_ns
+        clone.blocked_since_ns = self.blocked_since_ns
+        clone.anr_flagged = self.anr_flagged
+        clone._scheduler = _copy.deepcopy(self._scheduler, memo)
+        clone._body = self._body
+        clone._joiners = _copy.deepcopy(self._joiners, memo)
+        clone._os_thread = None
+        return clone
 
     def __repr__(self) -> str:
         return f"<SimThread {self.sid} {self.name!r} {self.state.value}>"

@@ -21,7 +21,12 @@ log digest: two same-seed runs must print identical documents
 
 Run::
 
-    PYTHONPATH=src python -m repro.workloads.netbench
+    PYTHONPATH=src python -m repro.workloads.netbench [--jobs N]
+
+``--jobs N`` runs N independent replicas of the whole benchmark across
+fork-server workers (``repro.sim.parallel``) and asserts every replica
+renders the byte-identical document — the parallel determinism
+self-check the ``net-determinism`` CI job exercises.
 """
 
 from __future__ import annotations
@@ -346,12 +351,14 @@ def world_main(argv: List[str]) -> None:
         save_trace(trace, trace_out)
 
 
-def main() -> None:
-    results = run_netbench()
+def format_report(results: Dict[str, object]) -> str:
+    """The byte-comparable single-machine netbench document."""
     android = results["android"]
     ios = results["cider-ios"]
-    print("netbench — same device, same origin, both personas")
-    print(f"{'metric':<16}{'android':>14}{'cider-ios':>14}{'ios/android':>13}")
+    lines = ["netbench — same device, same origin, both personas"]
+    lines.append(
+        f"{'metric':<16}{'android':>14}{'cider-ios':>14}{'ios/android':>13}"
+    )
     for key, unit in (
         ("fetch_ns", "ns"),
         ("fetch_p50_ns", "ns"),
@@ -361,9 +368,55 @@ def main() -> None:
     ):
         a, i = android[key], ios[key]
         ratio = i / a if a else float("nan")
-        print(f"{key:<16}{a:>12.1f} {unit:<2}{i:>11.1f} {unit:<2}{ratio:>10.3f}x")
-    print(f"packet log digest: {results['packet_log_digest']}")
-    print(json.dumps({"net": results["net"]}, sort_keys=True))
+        lines.append(
+            f"{key:<16}{a:>12.1f} {unit:<2}{i:>11.1f} {unit:<2}{ratio:>10.3f}x"
+        )
+    lines.append(f"packet log digest: {results['packet_log_digest']}")
+    lines.append(json.dumps({"net": results["net"]}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    import hashlib
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    jobs = 1
+    if "--jobs" in args:
+        from ..sim.parallel import parse_jobs
+
+        at = args.index("--jobs")
+        try:
+            jobs = parse_jobs(args[at + 1])
+        except (IndexError, ValueError):
+            print(
+                "usage: python -m repro.workloads.netbench [--jobs N]",
+                file=sys.stderr,
+            )
+            return 2
+    if jobs <= 1:
+        print(format_report(run_netbench()), end="")
+        return 0
+    # Determinism self-check: run ``jobs`` independent replicas of the
+    # whole benchmark across fork-server workers.  Every replica must
+    # render the byte-identical document.
+    from ..sim.parallel import run_cases
+
+    reports = run_cases(jobs, lambda _index: format_report(run_netbench()),
+                        jobs=jobs)
+    print(reports[0], end="")
+    digests = sorted({
+        hashlib.sha256(report.encode()).hexdigest() for report in reports
+    })
+    if len(digests) != 1:
+        print(
+            f"netbench: determinism FAILED: {len(digests)} distinct "
+            f"documents across {jobs} replicas: {' '.join(digests)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"netbench determinism: {jobs} replicas identical sha256 {digests[0]}")
+    return 0
 
 
 if __name__ == "__main__":
@@ -372,4 +425,4 @@ if __name__ == "__main__":
     if "--world" in sys.argv[1:]:
         world_main(sys.argv[1:])
     else:
-        main()
+        raise SystemExit(main())

@@ -32,9 +32,15 @@ The sweep report is byte-comparable with a SHA-256 digest: two same-seed
 runs must print identical documents (the ``partition-sweep`` CI job
 diffs two hash-seed-flipped runs).
 
+The sweep boots each case's world by cloning a boot snapshot
+(``repro.sim.snapshot``) and fans independent cases across fork-server
+workers (``repro.sim.parallel``): ``--jobs N`` changes wall-clock only —
+the transcript and its digest are byte-identical for every jobs value.
+
 Run::
 
-    PYTHONPATH=src python -m repro.workloads.partsweep [max_cases|all]
+    PYTHONPATH=src python -m repro.workloads.partsweep \
+        [max_cases|all] [--jobs N] [--timings FILE]
 """
 
 from __future__ import annotations
@@ -59,6 +65,8 @@ from ..net.conditions import DIR_IN, LinkSchedule, LinkWindow
 from ..net.http import ORIGIN_HOST
 from ..sim.errors import DeadlockError, MachinePanic
 from ..sim.faults import FaultOutcome, FaultPlan, FaultRule
+from ..sim.parallel import parse_jobs, run_cases
+from ..sim.snapshot import Snapshot, SnapshotCache, snapshot_systems
 
 MACHO_PATH = "/data/partsweep/partfetch"
 
@@ -170,21 +178,23 @@ def partfetch_ios(ctx: UserContext, argv: List[str]) -> int:
 
 # -- world plumbing ------------------------------------------------------------
 
+#: Boot-snapshot cache: the expensive, thread-free half of the world is
+#: captured once per process; every case (and the record pass) clones it.
+#: Fork-server workers inherit the populated cache through ``fork``.
+_SNAPSHOTS = SnapshotCache()
 
-def _build_world():
-    """Cider client + vanilla-Android origin on one segment (the netbench
-    world shape, bare: no observatories — reports must not depend on
-    them).  The client gets a resource envelope so socket-buffer
-    reservations are tracked for the leak check."""
+
+def _capture_world() -> "Snapshot":
+    """Snapshot the quiescent two-machine world: Cider client (services
+    not yet started) + vanilla-Android origin (httpd not yet started) on
+    one segment, workload binary installed, resource envelope attached.
+    Everything here is pure data — no simulated thread exists yet."""
     from ..cider.system import build_cider, build_vanilla_android
-    from ..net.http import start_httpd_android
     from .netbench import ORIGIN_NET_IP
 
-    client = build_cider()
-    origin = build_vanilla_android()
+    client = build_cider(start_services=False)
+    origin = build_vanilla_android(start_services=False)
     origin.machine.net_host_ip = ORIGIN_NET_IP
-    start_httpd_android(origin)
-    origin.run_until_idle()  # let the origin reach its accept loop
     client.machine.net.connect_peer(origin.machine.net)
     client.machine.net.register_host(ORIGIN_HOST, ORIGIN_NET_IP)
     vfs = client.kernel.vfs
@@ -193,6 +203,24 @@ def _build_world():
         MACHO_PATH, macho_executable("partfetch", partfetch_ios)
     )
     client.machine.install_resources()
+    return snapshot_systems(client, origin)
+
+
+def _world_snapshot() -> "Snapshot":
+    return _SNAPSHOTS.get_or_capture("partsweep-world", _capture_world)
+
+
+def _build_world():
+    """One fresh world per case: clone the boot snapshot, then finish
+    each machine's boot on its private copy (launchd on the client, the
+    httpd accept loop on the origin — the thread-bearing half).  The
+    world is bare: no observatories — reports must not depend on them."""
+    from ..net.http import start_httpd_android
+
+    client, origin = _world_snapshot().clone()
+    client.start_services()
+    start_httpd_android(origin)
+    origin.run_until_idle()  # let the origin reach its accept loop
     return client, origin
 
 
@@ -385,7 +413,12 @@ def run_sweep(
     max_cases: Optional[int] = DEFAULT_MAX_CASES,
     fetches: int = DEFAULT_FETCHES,
     seed: int = 0,
+    jobs: int = 1,
 ) -> SweepReport:
+    """The full sweep.  ``jobs > 1`` fans the independent cases out
+    across a fork-server worker pool (``repro.sim.parallel``); the
+    merged report is byte-identical to a serial run — the report text
+    never mentions ``jobs``, and results are merged in case order."""
     occurrences, first_fetch_ns = record_pass(fetches, seed)
     sites = sample_sites(occurrences)
     cases = build_cases(sites, max_cases)
@@ -399,10 +432,17 @@ def run_sweep(
         f"partsweep: sweeping {len(cases)} case(s) "
         f"({len(SCHEDULE_NAMES)} schedule(s) x {len(sites)} site(s))"
     )
-    for schedule_name, site in cases:
-        line, ok = sweep_case(
-            schedule_name, site, first_fetch_ns, fetches, seed
-        )
+
+    def one_case(index: int):
+        schedule_name, site = cases[index]
+        return sweep_case(schedule_name, site, first_fetch_ns, fetches, seed)
+
+    # The record pass above already populated the boot-snapshot cache,
+    # so forked workers inherit the world image and never re-boot it.
+    results = run_cases(
+        len(cases), one_case, jobs=jobs, prime=_world_snapshot
+    )
+    for line, ok in results:
         report.line(line)
         report.cases += 1
         if ok:
@@ -412,26 +452,50 @@ def run_sweep(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import json
     import sys
+    import time
 
     args = list(sys.argv[1:] if argv is None else argv)
+    usage = (
+        "usage: python -m repro.workloads.partsweep "
+        "[max_cases|all] [--jobs N] [--timings FILE]"
+    )
     max_cases: Optional[int] = DEFAULT_MAX_CASES
-    if args:
-        if args[0] == "all":
-            max_cases = None
-        else:
-            try:
-                max_cases = int(args[0])
-            except ValueError:
-                print(
-                    "usage: python -m repro.workloads.partsweep "
-                    "[max_cases|all]",
-                    file=sys.stderr,
-                )
-                return 2
-    report = run_sweep(max_cases)
+    jobs = 1
+    timings_path: Optional[str] = None
+    try:
+        while args:
+            arg = args.pop(0)
+            if arg == "--jobs":
+                jobs = parse_jobs(args.pop(0))
+            elif arg == "--timings":
+                timings_path = args.pop(0)
+            elif arg == "all":
+                max_cases = None
+            else:
+                max_cases = int(arg)
+    except (IndexError, ValueError):
+        print(usage, file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    report = run_sweep(max_cases, jobs=jobs)
+    wall_seconds = time.perf_counter() - start
     print(report.text(), end="")
     print(f"sweep sha256: {report.digest()}")
+    if timings_path is not None:
+        with open(timings_path, "w") as fh:
+            json.dump(
+                {
+                    "harness": "partsweep",
+                    "jobs": jobs,
+                    "cases": report.cases,
+                    "wall_seconds": round(wall_seconds, 3),
+                },
+                fh,
+                sort_keys=True,
+            )
+            fh.write("\n")
     return 0 if report.passed == report.cases else 1
 
 
