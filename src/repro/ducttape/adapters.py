@@ -62,6 +62,11 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
         self._kernel = kernel
         self._machine = kernel.machine
         self._events: Dict[int, Tuple[object, WaitQueue]] = {}
+        #: Registration-order serial for wait-channel names: ``id()``
+        #: values vary run to run (and across fork workers), so naming
+        #: channels after them would leak address nondeterminism into
+        #: thread dumps and ready-set signatures.
+        self._event_seq = 0
         self.allocations_live = 0
 
     # -- locks -----------------------------------------------------------------
@@ -76,9 +81,15 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
         while mtx.owner is not None and mtx.owner is not me:
             scheduler.block_on(mtx.waitq)
         mtx.owner = me if me is not None else True
+        hb = self._machine.hb
+        if hb is not None:
+            hb.lock_acquire(mtx, f"lck:{mtx.name}")
 
     def lck_mtx_unlock(self, mtx: object) -> None:
         assert isinstance(mtx, _Mutex)
+        hb = self._machine.hb
+        if hb is not None:
+            hb.lock_release(mtx, f"lck:{mtx.name}")
         mtx.owner = None
         mtx.waitq.wake_one()
 
@@ -120,7 +131,12 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
         key = id(event)
         entry = self._events.get(key)
         if entry is None:
-            entry = (event, WaitQueue(f"xnu-event:{key:x}"))
+            # Name by registration order, never by id(): the serial is
+            # identical across runs, hash seeds and fork workers, so a
+            # thread dump or ready-set signature mentioning the channel
+            # is byte-stable.
+            self._event_seq += 1
+            entry = (event, WaitQueue(f"xnu-event:{self._event_seq}"))
             self._events[key] = entry
         return entry[1]
 
@@ -210,6 +226,10 @@ class LinuxDuctTapeEnv(XNUKernelAPI):
         obs = self._machine.obs
         if obs is not None and obs.causal is not None:
             obs.causal.adopt(carrier)
+
+    def hb_monitor(self) -> Optional[object]:
+        """Bind foreign sync edges to the host happens-before monitor."""
+        return self._machine.hb
 
     # -- resource pressure -------------------------------------------------------------------
 

@@ -66,6 +66,11 @@ class Machine:
         #: ``faults`` and ``obs``); install with
         #: :meth:`install_resources`.
         self.resources: Optional[ResourceEnvelope] = None
+        #: Happens-before monitor (repro.sim.explore): None on the fast
+        #: path (every sync-edge hook pays exactly one boolean test,
+        #: mirroring ``faults``/``obs``/``resources``); install with
+        #: :meth:`install_hb_monitor`.
+        self.hb = None
         #: Virtual netstack (repro.net): built lazily on first use so a
         #: machine that never opens an INET socket charges nothing and
         #: allocates nothing — the same zero-cost-when-off contract as
@@ -267,6 +272,28 @@ class Machine:
     def clear_resources(self) -> None:
         """Detach the envelope: the fast path is restored exactly."""
         self.resources = None
+
+    # -- happens-before monitoring ------------------------------------------------
+
+    def install_hb_monitor(self, monitor=None):
+        """Attach an :class:`~repro.sim.explore.HBMonitor`: the scheduler
+        and every kernel synchronization path advance vector clocks from
+        now on, and shared-state accesses registered through
+        ``machine.hb.access(...)`` are checked for races.  Detectors
+        charge no virtual time — they observe the schedule, never steer
+        it."""
+        if monitor is None:
+            from ..sim.explore import HBMonitor
+
+            monitor = HBMonitor(self.scheduler)
+        self.hb = monitor
+        self.scheduler.hb = monitor
+        return monitor
+
+    def clear_hb_monitor(self) -> None:
+        """Detach the monitor: the fast path is restored exactly."""
+        self.hb = None
+        self.scheduler.hb = None
 
     # -- observability -----------------------------------------------------------
 

@@ -461,6 +461,9 @@ class IOSLibc:
     def semaphore_signal(self, sema_id: int) -> int:
         return self._mach(xnu.TRAP_semaphore_signal, sema_id)
 
+    def semaphore_signal_all(self, sema_id: int) -> int:
+        return self._mach(xnu.TRAP_semaphore_signal_all, sema_id)
+
     def semaphore_wait(self, sema_id: int) -> int:
         return self._mach(xnu.TRAP_semaphore_wait, sema_id)
 

@@ -517,6 +517,11 @@ class Kernel:
         obs = self.machine.obs
         if obs is not None and obs.causal is not None:
             info.causal = obs.causal.carrier()
+        hb = self.machine.hb
+        if hb is not None:
+            # send→deliver edge, carried on the siginfo itself so even a
+            # delivery deferred past the wakeup stays ordered.
+            hb.release(info, "signal")
         target = process.main_thread()
         current = self.current_kthread_or_none()
         if current is target:
@@ -572,6 +577,8 @@ class Kernel:
     ) -> None:
         machine = self.machine
         machine.charge("signal_deliver")
+        if machine.hb is not None:
+            machine.hb.acquire(info)
         signum_user = info.signum
         if self.signal_translator is not None:
             signum_user = self.signal_translator.prepare_delivery(

@@ -54,6 +54,10 @@ class PipeReader(OpenFile):
         self.machine.charge("pipe_transfer")
         data = bytes(self.core.buffer[:nbytes])
         del self.core.buffer[: len(data)]
+        hb = self.machine.hb
+        if hb is not None:
+            # Data edge: the writer's history arrived with the bytes.
+            hb.acquire(self.core)
         self.write_waitq.wake_all()
         return data
 
@@ -96,6 +100,9 @@ class PipeWriter(OpenFile):
         room = PIPE_CAPACITY - len(self.core.buffer)
         accepted = data[:room]
         self.core.buffer.extend(accepted)
+        hb = self.machine.hb
+        if hb is not None:
+            hb.release(self.core)
         self.reader.read_waitq.wake_all()
         return len(accepted)
 
@@ -110,4 +117,10 @@ def make_pipe(machine: "Machine"):
     reader = PipeReader(machine, core)
     writer = PipeWriter(machine, core)
     writer.reader = reader
+    # Both ends share one writability queue (the reader's): the reader
+    # wakes ``self.write_waitq`` after draining, and blocked writers park
+    # on ``reader.write_waitq`` — but select-for-writable parks on the
+    # *writer's* queue.  Aliasing them makes that wakeup reach pollers
+    # too instead of silently never firing.
+    writer.write_waitq = reader.write_waitq
     return reader, writer

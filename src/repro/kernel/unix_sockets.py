@@ -115,6 +115,10 @@ class UnixSocket(OpenFile):
         self.machine.charge("sock_transfer")
         data = bytes(self._rx.buffer[:nbytes])
         del self._rx.buffer[: len(data)]
+        hb = self.machine.hb
+        if hb is not None:
+            # Data edge: the writer's history arrived with the bytes.
+            hb.acquire(self._rx)
         carrier, self._rx.carrier = self._rx.carrier, None
         if carrier is not None:
             obs = self.machine.obs
@@ -141,6 +145,9 @@ class UnixSocket(OpenFile):
             carrier = obs.causal.carrier()
             if carrier is not None:
                 self._tx.carrier = carrier
+        hb = self.machine.hb
+        if hb is not None:
+            hb.release(self._tx)
         self._tx.buffer.extend(data)
         self._tx.waitq.wake_all()  # readers blocked on empty
         return len(data)

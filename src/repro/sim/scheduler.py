@@ -261,6 +261,18 @@ class Scheduler:
         #: machine, context switches are counted here.  None on the fast
         #: path — one boolean test per dispatch.
         self.obs: Optional[object] = None
+        #: Pluggable schedule policy (repro.sim.explore).  None selects
+        #: the historical strict-FIFO pick untouched; a policy sees every
+        #: multi-candidate choice point and decides which READY thread
+        #: runs next.  Policies steer *which* deterministic schedule
+        #: executes — they never charge virtual time.
+        self._policy: Optional[object] = None
+        #: Monotonic id of the next scheduling choice point (only
+        #: multi-candidate picks consume one).
+        self._choice_seq = 0
+        #: Happens-before monitor (repro.sim.explore.HBMonitor).  None on
+        #: the fast path — spawn and wakeup pay one boolean test each.
+        self.hb: Optional[object] = None
         #: True while an outer world driver (``run_world``) owns timer
         #: firing.  A lone machine may jump its own clock to the next
         #: timer the moment its ready queue drains; in a world that
@@ -283,8 +295,24 @@ class Scheduler:
         self._threads.append(thread)
         thread.state = ThreadState.READY
         self._ready.append(thread)
+        if self.hb is not None:
+            self.hb.on_spawn(thread)
         thread._os_thread.start()
         return thread
+
+    def set_policy(self, policy: object) -> object:
+        """Install a schedule policy (see :mod:`repro.sim.explore`).
+
+        The policy is consulted at every choice point where more than one
+        thread is READY; with ``None`` (the default) the scheduler keeps
+        its historical strict-FIFO behaviour on an untouched code path.
+        """
+        self._policy = policy
+        self._choice_seq = 0
+        return policy
+
+    def clear_policy(self) -> None:
+        self._policy = None
 
     def current_thread(self) -> SimThread:
         """The simulated thread currently holding the token."""
@@ -632,6 +660,8 @@ class Scheduler:
         if thread.state in (ThreadState.BLOCKED, ThreadState.SLEEPING):
             thread.state = ThreadState.READY
             self._ready.append(thread)
+            if self.hb is not None:
+                self.hb.on_wake(thread)
             return True
         return False
 
@@ -659,11 +689,38 @@ class Scheduler:
         return False
 
     def _pick_next(self) -> Optional[SimThread]:
+        if self._policy is not None:
+            return self._pick_next_policy()
         while self._ready:
             thread = self._ready.popleft()
             if thread.alive and thread.state is ThreadState.READY:
                 return thread
         return None
+
+    def _pick_next_policy(self) -> Optional[SimThread]:
+        """Policy-steered pick: the policy sees every choice point where
+        more than one thread could run and selects by index into the
+        FIFO-ordered candidate list.  A sole candidate is returned
+        without consuming a choice point, so a policy run over a
+        single-threaded phase records an empty trace — exactly FIFO."""
+        candidates = [
+            t for t in self._ready
+            if t.alive and t.state is ThreadState.READY
+        ]
+        if not candidates:
+            self._ready.clear()
+            return None
+        if len(candidates) == 1:
+            self._ready.clear()
+            return candidates[0]
+        names = tuple(t.name for t in candidates)
+        self._choice_seq += 1
+        index = self._policy.choose(self._choice_seq, names)
+        if not 0 <= index < len(candidates):
+            index = 0
+        chosen = candidates[index]
+        self._ready = deque(t for t in candidates if t is not chosen)
+        return chosen
 
     def _dispatch(self, from_thread: SimThread) -> None:
         """Give up the token; regain it when rescheduled."""

@@ -150,6 +150,14 @@ class XNUKernelAPI:
         the receiving thread.  Default environment: no-op."""
         return None
 
+    def hb_monitor(self) -> Optional[object]:
+        """The host machine's happens-before monitor
+        (:class:`repro.sim.explore.HBMonitor`), or None when concurrency
+        checking is off.  Foreign sync paths (Mach IPC, semaphores)
+        advance vector clocks through it; the default environment
+        monitors nothing.  Pure metadata — never charges virtual time."""
+        return None
+
     # -- resource/pressure hooks --------------------------------------------------------
 
     def metric(self, name: str, amount: int = 1) -> None:

@@ -466,6 +466,11 @@ class MachIPC:
             else:
                 self.xnu.thread_block(port.send_event)
         msg.causal = self.xnu.causal_carrier()
+        hb = self.xnu.hb_monitor()
+        if hb is not None:
+            # send→receive edge: the receiver inherits the sender's
+            # history along with the message.
+            hb.release(port, "mach_msg")
         self.xnu.enqueue_tail(port.messages, msg)
         self.messages_sent += 1
         self.xnu.thread_wakeup_one(port.recv_event)
@@ -511,6 +516,9 @@ class MachIPC:
                 return MACH_RCV_PORT_DIED, None
             msg = self.xnu.dequeue_head(port.messages)
             if msg is not None:
+                hb = self.xnu.hb_monitor()
+                if hb is not None:
+                    hb.acquire(port)
                 self.xnu.thread_wakeup_one(port.send_event)
                 return self._finish_receive(space, name, msg)
             if timeout_ns is not None:
@@ -529,6 +537,9 @@ class MachIPC:
             for port in pset.members:
                 msg = self.xnu.dequeue_head(port.messages)
                 if msg is not None:
+                    hb = self.xnu.hb_monitor()
+                    if hb is not None:
+                        hb.acquire(port)
                     self.xnu.thread_wakeup_one(port.send_event)
                     port_name = self._name_in_space(space, port)
                     return self._finish_receive(space, port_name, msg)

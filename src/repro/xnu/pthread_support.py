@@ -51,6 +51,13 @@ class PsynchSupport:
 
     # -- mutexes ---------------------------------------------------------------
 
+    @staticmethod
+    def _mutex_name(task: object, mutex_addr: int) -> str:
+        # Named by owning process + user address: stable run to run
+        # (addresses are the simulated library's deterministic ids),
+        # distinct across tasks that reuse the same address.
+        return f"mutex:{getattr(task, 'name', 'task')}@{mutex_addr:#x}"
+
     def psynch_mutexwait(self, task: object, mutex_addr: int) -> int:
         """Acquire; blocks while another thread holds the mutex."""
         kwq = self._kwq(task, mutex_addr)
@@ -60,10 +67,16 @@ class PsynchSupport:
             self.xnu.thread_block(kwq.event)
             kwq.waiters -= 1
         kwq.locked = True
+        hb = self.xnu.hb_monitor()
+        if hb is not None:
+            hb.lock_acquire(kwq, self._mutex_name(task, mutex_addr))
         return PSYNCH_SUCCESS
 
     def psynch_mutexdrop(self, task: object, mutex_addr: int) -> int:
         kwq = self._kwq(task, mutex_addr)
+        hb = self.xnu.hb_monitor()
+        if hb is not None:
+            hb.lock_release(kwq, self._mutex_name(task, mutex_addr))
         kwq.locked = False
         if kwq.waiters:
             self.xnu.thread_wakeup_one(kwq.event)

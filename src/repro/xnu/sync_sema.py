@@ -52,6 +52,10 @@ class SyncSema:
         if sema is None:
             return KERN_INVALID_NAME
         sema.value += 1
+        hb = self.xnu.hb_monitor()
+        if hb is not None:
+            # signal→wait edge; mutex-style use also feeds lockdep.
+            hb.lock_release(sema, f"sema:{sema_id:#x}")
         if sema.waiters:
             self.xnu.thread_wakeup_one(sema.event)
         return KERN_SUCCESS
@@ -61,6 +65,9 @@ class SyncSema:
         if sema is None:
             return KERN_INVALID_NAME
         sema.value += sema.waiters
+        hb = self.xnu.hb_monitor()
+        if hb is not None:
+            hb.lock_release(sema, f"sema:{sema_id:#x}")
         self.xnu.thread_wakeup(sema.event)
         return KERN_SUCCESS
 
@@ -83,6 +90,9 @@ class SyncSema:
             if sema_id not in self._semas:
                 return KERN_INVALID_NAME  # destroyed while waiting
         sema.value -= 1
+        hb = self.xnu.hb_monitor()
+        if hb is not None:
+            hb.lock_acquire(sema, f"sema:{sema_id:#x}")
         return KERN_SUCCESS
 
 

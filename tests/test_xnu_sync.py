@@ -213,3 +213,227 @@ class TestMachSemaphores:
             return ctx.libc.semaphore_signal(0xFFFF)
 
         assert run_macho(system, body) == KERN_INVALID_NAME
+
+    def test_signal_all_wakes_every_waiter(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            _, sema = libc.semaphore_create(0)
+            woken = []
+
+            def waiter(tag):
+                def run(tctx):
+                    tctx.libc.semaphore_wait(sema)
+                    woken.append(tag)
+                    return 0
+
+                return run
+
+            for tag in "abc":
+                libc.pthread_create(waiter(tag))
+            libc.sched_yield()  # let all three block
+            libc.semaphore_signal_all(sema)
+            for _ in range(8):
+                libc.sched_yield()
+            return sorted(woken)
+
+        assert run_macho(system, body) == ["a", "b", "c"]
+
+    def test_contended_waits_consume_one_signal_each(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            _, sema = libc.semaphore_create(0)
+            state = {"done": 0}
+
+            def waiter(tctx):
+                tctx.libc.semaphore_wait(sema)
+                state["done"] += 1
+                return 0
+
+            for _ in range(3):
+                libc.pthread_create(waiter)
+            libc.sched_yield()
+            for _ in range(3):
+                libc.semaphore_signal(sema)
+            while state["done"] < 3:
+                libc.sched_yield()
+            # All three signals were consumed: a fourth wait times out.
+            return libc.semaphore_timedwait(sema, 5000)
+
+        assert run_macho(system, body) == KERN_OPERATION_TIMED_OUT
+
+    def test_timedwait_under_contention(self, system):
+        def body(ctx):
+            libc = ctx.libc
+            _, sema = libc.semaphore_create(0)
+            results = {}
+
+            def patient(tctx):
+                results["patient"] = tctx.libc.semaphore_wait(sema)
+                return 0
+
+            def hasty(tctx):
+                results["hasty"] = tctx.libc.semaphore_timedwait(sema, 2000)
+                return 0
+
+            libc.pthread_create(patient)
+            libc.pthread_create(hasty)
+            libc.sched_yield()  # both block; patient is first in line
+            libc.semaphore_signal(sema)  # exactly one signal
+            libc.sleep_ns(10_000)  # let hasty's deadline expire
+            return results
+
+        results = run_macho(system, body)
+        assert results["patient"] == KERN_SUCCESS
+        assert results["hasty"] == KERN_OPERATION_TIMED_OUT
+
+
+class TestHappensBeforeEdges:
+    """The sync paths feed the happens-before monitor: semaphore
+    signal→wait and psynch mutex unlock→lock order annotated accesses."""
+
+    def test_semaphore_signal_orders_accesses(self, system):
+        machine = system.machine
+        monitor = machine.install_hb_monitor()
+
+        def body(ctx):
+            libc = ctx.libc
+            _, sema = libc.semaphore_create(0)
+
+            def consumer(tctx):
+                tctx.libc.semaphore_wait(sema)
+                tctx.machine.hb.access("sema.state", True, "consumer")
+                return 0
+
+            libc.pthread_create(consumer)
+            ctx.machine.hb.access("sema.state", True, "producer")
+            libc.semaphore_signal(sema)
+            libc.sched_yield()
+            return 0
+
+        try:
+            run_macho(system, body)
+        finally:
+            machine.clear_hb_monitor()
+        assert monitor.race_reports() == []
+
+    def test_psynch_mutex_guards_accesses(self, system):
+        machine = system.machine
+        monitor = machine.install_hb_monitor()
+
+        def body(ctx):
+            libc = ctx.libc
+            mutex = libc.pthread_mutex_init()
+            state = {"done": 0}
+
+            def worker(tctx):
+                tlibc = tctx.libc
+                tlibc.pthread_mutex_lock(mutex)
+                tctx.machine.hb.access("mutex.state", True, "worker")
+                tlibc.sched_yield()
+                tlibc.pthread_mutex_unlock(mutex)
+                state["done"] += 1
+                return 0
+
+            libc.pthread_create(worker)
+            libc.pthread_create(worker)
+            while state["done"] < 2:
+                libc.sched_yield()
+            return 0
+
+        try:
+            run_macho(system, body)
+        finally:
+            machine.clear_hb_monitor()
+        assert monitor.race_reports() == []
+
+
+class TestLockdepFixtures:
+    """Intentional AB/BA order inversions must produce exactly one
+    canonical lock-order cycle report — even though the fixture runs
+    serialized and never deadlocks."""
+
+    def test_psynch_inverted_order_reports_cycle(self, system):
+        machine = system.machine
+        monitor = machine.install_hb_monitor()
+
+        def body(ctx):
+            libc = ctx.libc
+            mutex_a = libc.pthread_mutex_init()
+            mutex_b = libc.pthread_mutex_init()
+            state = {"done": 0}
+
+            def ab(tctx):
+                tlibc = tctx.libc
+                tlibc.pthread_mutex_lock(mutex_a)
+                tlibc.pthread_mutex_lock(mutex_b)
+                tlibc.pthread_mutex_unlock(mutex_b)
+                tlibc.pthread_mutex_unlock(mutex_a)
+                state["done"] += 1
+                return 0
+
+            def ba(tctx):
+                tlibc = tctx.libc
+                tlibc.pthread_mutex_lock(mutex_b)
+                tlibc.pthread_mutex_lock(mutex_a)
+                tlibc.pthread_mutex_unlock(mutex_a)
+                tlibc.pthread_mutex_unlock(mutex_b)
+                state["done"] += 1
+                return 0
+
+            libc.pthread_create(ab)
+            libc.pthread_create(ba)
+            while state["done"] < 2:
+                libc.sched_yield()
+            return 0
+
+        try:
+            run_macho(system, body)
+        finally:
+            machine.clear_hb_monitor()
+        cycles = monitor.lock_cycles()
+        assert len(cycles) == 1
+        assert cycles[0].startswith("lock-order cycle: mutex:")
+
+    def test_ducttape_mutex_contention_and_cycle(self, system):
+        from repro.ducttape import LinuxDuctTapeEnv
+
+        machine = system.machine
+        env = LinuxDuctTapeEnv(system.kernel)
+        mtx_a = env.lck_mtx_alloc("A")
+        mtx_b = env.lck_mtx_alloc("B")
+        scheduler = machine.scheduler
+        state = {"inside": 0, "max_inside": 0}
+        monitor = machine.install_hb_monitor()
+
+        def hold_both(first, second):
+            def body():
+                env.lck_mtx_lock(first)
+                state["inside"] += 1
+                state["max_inside"] = max(
+                    state["max_inside"], state["inside"]
+                )
+                scheduler.yield_control()
+                env.lck_mtx_lock(second)
+                env.lck_mtx_unlock(second)
+                state["inside"] -= 1
+                env.lck_mtx_unlock(first)
+
+            return body
+
+        try:
+            # Phase 1: two threads contend on A while yielding inside
+            # the critical section — real blocking on the duct-tape
+            # mutex, A -> B edges recorded.
+            scheduler.spawn(hold_both(mtx_a, mtx_b), name="lck-ab")
+            scheduler.spawn(hold_both(mtx_a, mtx_b), name="lck-ab2")
+            machine.run()
+            # Phase 2: the inverted order runs alone — it can never
+            # deadlock, yet lockdep must still report the AB/BA cycle.
+            scheduler.spawn(hold_both(mtx_b, mtx_a), name="lck-ba")
+            machine.run()
+        finally:
+            machine.clear_hb_monitor()
+        assert state["inside"] == 0
+        assert state["max_inside"] == 1, "mutual exclusion held"
+        cycles = monitor.lock_cycles()
+        assert cycles == ["lock-order cycle: lck:A -> lck:B -> lck:A"]
